@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every artifact of the paper's evaluation."""

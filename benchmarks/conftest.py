@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(Figures 1-2, Theorems 1-4, Propositions 1-3, plus the ablations
+DESIGN.md calls out), printing the rows/series it reports and saving
+machine-readable copies under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(title: str, body: str, results_dir: Path, filename: str) -> None:
+    """Print an artifact and persist it under benchmarks/results/."""
+    banner = "=" * len(title)
+    text = f"\n{title}\n{banner}\n{body}\n"
+    print(text)
+    (results_dir / filename).write_text(text.lstrip("\n"), encoding="utf-8")

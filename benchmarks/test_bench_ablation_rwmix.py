@@ -1,0 +1,93 @@
+"""Experiment rwmix — the read/write-mix crossover.
+
+Paper §1.2: *"the larger the allocation scheme the smaller the cost of
+an average read-request, and the bigger the cost of an average write
+request"* — the intuition behind both algorithms.  We sweep the write
+fraction of a uniform workload and measure SA's and DA's mean cost.
+
+The measured shape is richer than a single crossover: DA wins the
+read-heavy end (saving-reads amortize), SA wins a middle band (joins
+are wasted work when writes soon invalidate them), and DA wins again at
+the write-heavy end — a DA write keeps a replica *at the writer*
+(execution set ``F ∪ {writer}``), one data message cheaper than SA's
+write-all to a scheme the writer may not belong to.  The bench locates
+the first crossover (DA → SA) and asserts all three regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.crossover import find_crossover
+from repro.analysis.report import format_table
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import stationary
+from repro.workloads.uniform import UniformWorkload
+
+MODEL = stationary(0.1, 0.6)
+PROCESSORS = range(1, 9)
+SCHEME = frozenset({1, 2})
+FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9]
+
+
+def mean_cost(algorithm_factory, write_fraction: float, seeds=range(4)):
+    total = 0.0
+    count = 0
+    for seed in seeds:
+        schedule = UniformWorkload(PROCESSORS, 80, write_fraction).generate(
+            seed
+        )
+        algorithm = algorithm_factory()
+        total += MODEL.schedule_cost(algorithm.run(schedule))
+        count += 1
+    return total / count
+
+
+def measure_rwmix():
+    rows = []
+    for fraction in FRACTIONS:
+        sa = mean_cost(lambda: StaticAllocation(SCHEME), fraction)
+        da = mean_cost(lambda: DynamicAllocation(SCHEME, primary=2), fraction)
+        rows.append((fraction, sa, da, "DA" if da < sa else "SA"))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-rwmix")
+def test_read_write_mix_crossover(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_rwmix, rounds=1, iterations=1)
+    crossover = find_crossover(
+        lambda fraction: mean_cost(
+            lambda: DynamicAllocation(SCHEME, primary=2), fraction
+        )
+        - mean_cost(lambda: StaticAllocation(SCHEME), fraction),
+        0.0,
+        0.3,
+        tolerance=0.02,
+    )
+    body = format_table(
+        ["write fraction", "SA mean cost", "DA mean cost", "cheaper"], rows
+    )
+    if crossover is not None:
+        body += (
+            f"\n\nfirst crossover (DA -> SA) near write fraction "
+            f"{crossover.parameter:.3f}"
+        )
+    emit(
+        "Read/write-mix sweep (SC, c_c=0.1, c_d=0.6, 8 processors)",
+        body,
+        results_dir,
+        "ablation_rwmix.txt",
+    )
+    # Read-only: DA strictly cheaper (saves amortize, no writes punish).
+    assert rows[0][2] < rows[0][1]
+    # A middle band where SA is cheaper (joins wasted on soon-invalidated
+    # copies) exists.
+    assert any(winner == "SA" for _, _, _, winner in rows)
+    # Write-heavy end: DA cheaper again (writer-local replica saves one
+    # data message per write).
+    assert rows[-1][2] < rows[-1][1]
+    # The first crossover sits inside the read-heavy bracket.
+    assert crossover is not None
+    assert 0.0 < crossover.parameter < 0.3

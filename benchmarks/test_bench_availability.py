@@ -1,0 +1,118 @@
+"""Experiment availability — quantifying the t-available constraint.
+
+Paper §1 motivates the model with *"limits on the minimum number of
+copies of the object (to ensure availability)"*, and §2 prescribes
+quorum consensus under failures.  This bench computes exact
+availabilities for independent fail-stop nodes:
+
+* the ROWA regime (SA, and DA's normal mode): reads get exponentially
+  more available with ``t`` while writes get exponentially less — the
+  trade-off behind keeping ``t`` small;
+* the quorum fallback: majority quorums sacrifice some read
+  availability to lift write availability far above ROWA's — why the
+  paper switches under failures and only then;
+* Gifford's tuning: the best intersecting (r, w) pair tracks the
+  request mix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.availability import (
+    best_quorums,
+    quorum_availability,
+    quorum_mixed_availability,
+    rowa_read_availability,
+    rowa_write_availability,
+)
+from repro.analysis.report import format_table
+
+P_UP = 0.9
+N = 5
+VOTES = [1] * N
+
+
+def measure_rowa_vs_quorum():
+    rows = []
+    majority = N // 2 + 1
+    quorum_read = quorum_availability(P_UP, VOTES, majority)
+    quorum_write = quorum_availability(P_UP, VOTES, majority)
+    for t in (2, 3, 4, 5):
+        rows.append(
+            (
+                t,
+                rowa_read_availability(P_UP, t),
+                rowa_write_availability(P_UP, t),
+                quorum_read,
+                quorum_write,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="availability")
+def test_rowa_vs_quorum_availability(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_rowa_vs_quorum, rounds=1, iterations=1)
+    emit(
+        f"Availability, node up-probability {P_UP}, n={N}: ROWA (normal "
+        "mode) vs majority quorum (failure mode)",
+        format_table(
+            ["t", "ROWA read", "ROWA write", "quorum read", "quorum write"],
+            rows,
+            float_format="{:.5f}",
+        ),
+        results_dir,
+        "availability_rowa_quorum.txt",
+    )
+    for t, rowa_read, rowa_write, quorum_read, quorum_write in rows:
+        # Reads: ROWA beats quorums (any single live copy serves).
+        assert rowa_read >= quorum_read or t == 2
+        # Writes: the quorum's whole point.
+        assert quorum_write > rowa_write or t == 2
+    # t=2 vs t=5 trade-off in ROWA:
+    assert rows[0][2] > rows[-1][2]  # writes more available at small t
+    assert rows[0][1] < rows[-1][1]  # reads more available at large t
+
+
+def measure_quorum_tuning():
+    rows = []
+    for write_fraction in (0.05, 0.2, 0.5, 0.8, 0.95):
+        choice = best_quorums(P_UP, VOTES, write_fraction)
+        symmetric = quorum_mixed_availability(
+            P_UP, VOTES, N // 2 + 1, N // 2 + 1, write_fraction
+        )
+        rows.append(
+            (
+                write_fraction,
+                choice.read_quorum,
+                choice.write_quorum,
+                choice.mixed_availability,
+                symmetric.mixed_availability,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="availability")
+def test_quorum_tuning_tracks_the_mix(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_quorum_tuning, rounds=1, iterations=1)
+    emit(
+        "Gifford tuning: best intersecting (r, w) per request mix "
+        f"(p={P_UP}, {N} one-vote nodes)",
+        format_table(
+            ["write fraction", "best r", "best w", "best availability",
+             "symmetric majority"],
+            rows,
+            float_format="{:.5f}",
+        ),
+        results_dir,
+        "availability_tuning.txt",
+    )
+    # Read-heavy mixes choose r < w; write-heavy choose w < r.
+    assert rows[0][1] < rows[0][2]
+    assert rows[-1][2] < rows[-1][1]
+    # Tuning never loses to the symmetric majority.
+    for _, _, _, best, symmetric in rows:
+        assert best >= symmetric - 1e-12

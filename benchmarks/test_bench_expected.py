@@ -1,0 +1,118 @@
+"""Experiment expected — average-case analysis vs simulation.
+
+Paper §2 justifies worst-case analysis with *"if algorithm A is
+superior to algorithm B in the worst case, then it is usually superior
+on average"*.  This bench makes the average case concrete: the exact
+Markov-chain expected costs (repro.analysis.expected_cost) against
+long-run simulation, the analytic SA/DA crossover against the measured
+one, and the multi-object directory demonstrating that the comparison
+composes across objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.expected_cost import (
+    analytic_crossover_write_fraction,
+    da_expected_cost,
+    sa_expected_cost,
+)
+from repro.analysis.report import format_table
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.multi import ObjectDirectory, interleave
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import stationary
+from repro.workloads.uniform import UniformWorkload
+
+MODEL = stationary(0.1, 0.6)
+N, T = 8, 2
+SCHEME = frozenset(range(1, T + 1))
+FRACTIONS = [0.05, 0.2, 0.5, 0.9]
+
+
+def measure_expected_vs_simulated():
+    rows = []
+    for write_fraction in FRACTIONS:
+        schedule = UniformWorkload(range(1, N + 1), 4000, write_fraction)
+        sample = schedule.generate(3)
+        sa_sim = MODEL.schedule_cost(
+            StaticAllocation(SCHEME).run(sample)
+        ) / len(sample)
+        da_sim = MODEL.schedule_cost(
+            DynamicAllocation(SCHEME, primary=T).run(sample)
+        ) / len(sample)
+        rows.append(
+            (
+                write_fraction,
+                sa_expected_cost(MODEL, N, T, write_fraction),
+                sa_sim,
+                da_expected_cost(MODEL, N, T, write_fraction),
+                da_sim,
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="expected")
+def test_expected_costs_match_simulation(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        measure_expected_vs_simulated, rounds=1, iterations=1
+    )
+    crossover = analytic_crossover_write_fraction(MODEL, N, T)
+    body = format_table(
+        ["write fraction", "SA analytic", "SA simulated",
+         "DA analytic", "DA simulated"],
+        rows,
+    )
+    body += f"\n\nanalytic SA/DA crossover: write fraction {crossover:.4f}"
+    body += "\n(the rwmix bench measured the empirical crossover at ~0.084)"
+    emit(
+        f"Expected per-request cost, n={N}, t={T}, {MODEL}",
+        body,
+        results_dir,
+        "expected_costs.txt",
+    )
+    for write_fraction, sa_analytic, sa_sim, da_analytic, da_sim in rows:
+        assert sa_sim == pytest.approx(sa_analytic, rel=0.05)
+        assert da_sim == pytest.approx(da_analytic, rel=0.05)
+    assert crossover == pytest.approx(0.084, abs=0.02)
+
+
+def measure_directory():
+    # Ten objects with different mixes, routed through one directory.
+    directory = ObjectDirectory(
+        lambda object_id: DynamicAllocation(SCHEME, primary=T)
+    )
+    streams = {}
+    expected_total = 0.0
+    for index in range(10):
+        write_fraction = 0.05 * (index + 1)
+        schedule = UniformWorkload(
+            range(1, N + 1), 100, write_fraction
+        ).generate(index)
+        streams[f"object-{index}"] = list(schedule)
+        standalone = DynamicAllocation(SCHEME, primary=T)
+        expected_total += MODEL.schedule_cost(standalone.run(schedule))
+    directory.run(interleave(streams))
+    return directory, expected_total
+
+
+@pytest.mark.benchmark(group="expected")
+def test_multi_object_directory_composes(benchmark, results_dir):
+    directory, expected_total = benchmark.pedantic(
+        measure_directory, rounds=1, iterations=1
+    )
+    per_object = directory.per_object_costs(MODEL)
+    rows = sorted(per_object.items())
+    emit(
+        "Multi-object directory: 10 objects x 100 requests, per-object "
+        "DA costs",
+        format_table(["object", "cost"], rows)
+        + f"\n\ntotal {directory.cost(MODEL):.1f} == sum of standalone "
+        f"runs {expected_total:.1f}",
+        results_dir,
+        "expected_directory.txt",
+    )
+    assert directory.cost(MODEL) == pytest.approx(expected_total)

@@ -1,0 +1,93 @@
+"""Experiment fig1 — regenerate Figure 1 (stationary-computing model).
+
+The paper's Figure 1 partitions the (c_d, c_c) plane into "SA is
+superior" (c_c + c_d < 0.5), "DA is superior" (c_d > 1), "Unknown" and
+"Cannot be true" (c_c > c_d).  We regenerate it twice:
+
+* *theoretically*, straight from the proven bounds, and
+* *empirically*, by measuring each algorithm's worst cost ratio against
+  the exact offline optimum over an adversarial + random schedule suite
+  at every grid point, declaring the smaller worst case the winner.
+
+The reproduction claim: wherever the theoretical map is decided (SA or
+DA), the empirical winner agrees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.regions import Region, empirical_map, theoretical_map
+from repro.viz.ascii_plot import render_region_map
+from repro.viz.csv_export import region_map_to_csv
+from repro.viz.svg_export import write_svg
+from repro.workloads.adversarial import adversarial_suite
+from repro.workloads.uniform import UniformWorkload
+
+SCHEME = frozenset({1, 2})
+GRID_STEPS = 9
+
+
+def schedule_suite():
+    suite = adversarial_suite(SCHEME, [5, 6, 7], rounds=4)
+    suite += UniformWorkload(range(1, 8), 20, 0.3).batch(2, seed=42)
+    return suite
+
+
+def build_empirical_map():
+    return empirical_map(
+        schedule_suite(),
+        SCHEME,
+        mobile_model=False,
+        c_d_max=2.0,
+        c_c_max=2.0,
+        steps=GRID_STEPS,
+    )
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_region_map(benchmark, results_dir):
+    theory = theoretical_map(mobile_model=False, steps=GRID_STEPS)
+    measured = benchmark.pedantic(
+        build_empirical_map, rounds=1, iterations=1
+    )
+
+    emit(
+        "Figure 1 (theory): SC model, winner by proven bounds",
+        render_region_map(theory),
+        results_dir,
+        "figure1_theory.txt",
+    )
+    emit(
+        "Figure 1 (measured): SC model, winner by worst ratio vs exact OPT",
+        render_region_map(measured),
+        results_dir,
+        "figure1_measured.txt",
+    )
+    (results_dir / "figure1_measured.csv").write_text(
+        region_map_to_csv(measured), encoding="utf-8"
+    )
+    write_svg(
+        theory, results_dir / "figure1_theory.svg",
+        title="Figure 1 (SC model, theory)",
+    )
+    write_svg(
+        measured, results_dir / "figure1_measured.svg",
+        title="Figure 1 (SC model, measured)",
+    )
+
+    # Shape check: wherever theory decides a winner, measurement agrees.
+    disagreements = []
+    for point in theory.points:
+        if point.region in (Region.SA_SUPERIOR, Region.DA_SUPERIOR):
+            measured_point = measured.at(point.c_c, point.c_d)
+            if measured_point.region is not point.region:
+                disagreements.append((point, measured_point))
+    assert disagreements == [], disagreements
+
+    # The headline boundaries of the paper's figure:
+    assert measured.at(0.0, 0.0).region is Region.SA_SUPERIOR
+    assert measured.at(0.25, 1.25).region is Region.DA_SUPERIOR
+    assert measured.at(0.0, 2.0).region is Region.DA_SUPERIOR
+    assert theory.at(2.0, 0.0).region is Region.INFEASIBLE

@@ -1,0 +1,96 @@
+"""Experiments thm1 + prop1 — SA's tight factor (1 + c_c + c_d).
+
+Theorem 1: SA is (1 + c_c + c_d)-competitive in the stationary model.
+Proposition 1: no better factor is possible — the family of repeated
+foreign reads drives SA's measured ratio arbitrarily close to the
+bound.
+
+The benchmark prints, for a row of (c_c, c_d) points, the worst
+measured SA ratio over a mixed adversarial + random suite and the
+theorem bound; and, for the Proposition 1 family, the measured ratio as
+the schedule grows, converging to the bound from below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.bounds import sa_competitive_factor
+from repro.analysis.report import format_table
+from repro.core.competitive import CompetitivenessHarness
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import stationary
+from repro.workloads.adversarial import adversarial_suite, sa_killer
+from repro.workloads.uniform import UniformWorkload
+
+SCHEME = frozenset({1, 2})
+PRICE_POINTS = [(0.0, 0.0), (0.1, 0.3), (0.25, 0.5), (0.3, 1.2), (1.0, 2.0)]
+
+
+def mixed_suite():
+    suite = adversarial_suite(SCHEME, [5, 6, 7], rounds=5)
+    suite += UniformWorkload(range(1, 8), 20, 0.3).batch(2, seed=7)
+    return suite
+
+
+def measure_upper_bound_row():
+    rows = []
+    suite = mixed_suite()
+    for c_c, c_d in PRICE_POINTS:
+        model = stationary(c_c, c_d)
+        harness = CompetitivenessHarness(model)
+        report = harness.measure(lambda: StaticAllocation(SCHEME), suite)
+        rows.append(
+            (c_c, c_d, report.max_ratio, sa_competitive_factor(model))
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="theorem1")
+def test_theorem1_sa_upper_bound(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_upper_bound_row, rounds=1, iterations=1)
+    emit(
+        "Theorem 1: SA worst measured ratio vs (1 + c_c + c_d)",
+        format_table(
+            ["c_c", "c_d", "measured max ratio", "theorem bound"], rows
+        ),
+        results_dir,
+        "theorem1_upper.txt",
+    )
+    for c_c, c_d, measured, bound in rows:
+        assert measured <= bound + 1e-9, (c_c, c_d)
+
+
+def measure_prop1_convergence(c_c=0.3, c_d=1.2):
+    model = stationary(c_c, c_d)
+    harness = CompetitivenessHarness(model)
+    rows = []
+    for repetitions in (2, 4, 8, 16, 32, 64, 128):
+        report = harness.measure(
+            lambda: StaticAllocation(SCHEME), [sa_killer(5, repetitions)]
+        )
+        rows.append(
+            (repetitions, report.max_ratio, sa_competitive_factor(model))
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="theorem1")
+def test_proposition1_tightness(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        measure_prop1_convergence, rounds=1, iterations=1
+    )
+    emit(
+        "Proposition 1: repeated foreign reads drive SA to its bound "
+        "(c_c=0.3, c_d=1.2)",
+        format_table(["schedule length", "SA ratio", "bound"], rows),
+        results_dir,
+        "proposition1_convergence.txt",
+    )
+    ratios = [ratio for _, ratio, _ in rows]
+    bound = rows[0][2]
+    # Monotone convergence from below, reaching >95% of the bound.
+    assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert all(ratio <= bound + 1e-9 for ratio in ratios)
+    assert ratios[-1] >= 0.95 * bound

@@ -1,0 +1,88 @@
+"""Experiments thm4 + prop3 — the mobile-computing model.
+
+Proposition 3: SA is not competitive when c_io = 0 — its ratio on the
+repeated-foreign-read family grows linearly with the schedule length.
+Theorem 4: DA stays (2 + 3 c_c / c_d)-competitive, hence at most
+5-competitive since c_c <= c_d.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.bounds import DA_MOBILE_CEILING, da_competitive_factor
+from repro.analysis.report import format_table
+from repro.core.competitive import CompetitivenessHarness
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import mobile
+from repro.workloads.adversarial import adversarial_suite, sa_killer
+from repro.workloads.uniform import UniformWorkload
+
+SCHEME = frozenset({1, 2})
+
+
+def measure_prop3_growth(c_c=0.5, c_d=2.0):
+    model = mobile(c_c, c_d)
+    harness = CompetitivenessHarness(model)
+    rows = []
+    for repetitions in (4, 8, 16, 32, 64):
+        report = harness.measure(
+            lambda: StaticAllocation(SCHEME), [sa_killer(5, repetitions)]
+        )
+        rows.append((repetitions, report.max_ratio))
+    return rows
+
+
+@pytest.mark.benchmark(group="theorem4")
+def test_proposition3_sa_not_competitive_mobile(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_prop3_growth, rounds=1, iterations=1)
+    emit(
+        "Proposition 3: SA's mobile ratio grows without bound "
+        "(c_c=0.5, c_d=2.0)",
+        format_table(["schedule length", "SA ratio"], rows),
+        results_dir,
+        "proposition3_growth.txt",
+    )
+    ratios = [ratio for _, ratio in rows]
+    # Strictly increasing, linear in the length: ratio == length.
+    assert ratios == sorted(ratios)
+    assert ratios[-1] / ratios[0] == pytest.approx(
+        rows[-1][0] / rows[0][0], rel=1e-6
+    )
+
+
+PRICE_POINTS = [(0.1, 0.5), (0.25, 0.5), (0.5, 1.0), (0.5, 2.0), (2.0, 2.0)]
+
+
+def measure_theorem4():
+    suite = adversarial_suite(SCHEME, [5, 6, 7], rounds=5)
+    suite += UniformWorkload(range(1, 8), 20, 0.3).batch(2, seed=7)
+    rows = []
+    for c_c, c_d in PRICE_POINTS:
+        model = mobile(c_c, c_d)
+        harness = CompetitivenessHarness(model)
+        report = harness.measure(
+            lambda: DynamicAllocation(SCHEME, primary=2), suite
+        )
+        rows.append(
+            (c_c, c_d, report.max_ratio, da_competitive_factor(model))
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="theorem4")
+def test_theorem4_da_mobile_bound(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_theorem4, rounds=1, iterations=1)
+    emit(
+        "Theorem 4: DA mobile worst measured ratio vs (2 + 3 c_c / c_d)",
+        format_table(
+            ["c_c", "c_d", "measured max ratio", "theorem bound"], rows
+        ),
+        results_dir,
+        "theorem4_upper.txt",
+    )
+    for c_c, c_d, measured, bound in rows:
+        assert measured <= bound + 1e-9, (c_c, c_d)
+        assert measured <= DA_MOBILE_CEILING + 1e-9

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Hospital imaging: many objects, one directory.
+
+Paper §1.1: *"An image, e.g. an X-ray, will be annotated by multiple
+hospitals and read by many."*  A radiology network manages one
+replicated record per patient study — dozens of independent objects,
+each with its own access pattern.  The paper analyzes a single object;
+its cost function is additive across objects, so per-object DOM
+instances compose — which is exactly what
+:class:`repro.core.multi.ObjectDirectory` packages.
+
+Three hospitals (1–3) annotate studies (writes); six clinics (4–9)
+review them (reads).  Hot studies are reviewed everywhere; cold ones
+barely at all.  The directory runs DA per study; we compare the fleet
+cost against running SA per study and against the per-study exact
+optimum.
+
+Run:  python examples/hospital_imaging.py
+"""
+
+import random
+
+from repro import DynamicAllocation, StaticAllocation, optimal_cost, stationary
+from repro.analysis import format_table
+from repro.core.multi import ObjectDirectory, interleave
+from repro.model.request import read, write
+
+HOSPITALS = [1, 2, 3]
+CLINICS = list(range(4, 10))
+MODEL = stationary(c_c=0.2, c_d=1.5)  # X-rays are big objects
+SCHEME = frozenset({1, 2})  # two archive hospitals always keep a copy
+
+STUDIES = {
+    "study-hot": 60,    # a teaching case everyone opens
+    "study-warm": 24,
+    "study-cold": 6,    # routine follow-up
+}
+
+
+def build_streams(seed: int = 5):
+    rng = random.Random(seed)
+    streams = {}
+    for study, request_count in STUDIES.items():
+        requests = []
+        for _ in range(request_count):
+            if rng.random() < 0.15:  # annotation
+                requests.append(write(rng.choice(HOSPITALS)))
+            else:  # review
+                requests.append(read(rng.choice(CLINICS)))
+        streams[study] = requests
+    return streams
+
+
+def main() -> None:
+    streams = build_streams()
+    stream = interleave(streams)
+    print(f"{len(stream)} requests across {len(streams)} studies")
+
+    da_directory = ObjectDirectory(
+        lambda study: DynamicAllocation(SCHEME, primary=2)
+    )
+    da_directory.run(stream)
+    sa_directory = ObjectDirectory(lambda study: StaticAllocation(SCHEME))
+    sa_directory.run(stream)
+
+    rows = []
+    for study, requests in sorted(streams.items()):
+        from repro.model.schedule import Schedule
+
+        schedule = Schedule(tuple(requests))
+        opt = optimal_cost(schedule, SCHEME, MODEL)
+        rows.append(
+            (
+                study,
+                len(requests),
+                sa_directory.cost(MODEL, study),
+                da_directory.cost(MODEL, study),
+                opt,
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            len(stream),
+            sa_directory.cost(MODEL),
+            da_directory.cost(MODEL),
+            sum(row[4] for row in rows),
+        )
+    )
+    print(
+        format_table(
+            ["study", "requests", "SA cost", "DA cost", "OPT"],
+            rows,
+            title=f"\nPer-study allocation costs ({MODEL})",
+        )
+    )
+
+    hot_scheme = da_directory.scheme("study-hot")
+    print(
+        f"\nhot study's current allocation scheme: {sorted(hot_scheme)} — "
+        "the clinics reviewing it joined via saving-reads."
+    )
+    assert da_directory.cost(MODEL) < sa_directory.cost(MODEL)
+    print("DA's directory-wide bill beats SA's, as c_d > 1 predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, property checks, every paper experiment.
+#
+# Usage:  scripts/reproduce.sh [output-dir]
+#
+# Writes test_output.txt and bench_output.txt into the repository root
+# (or the given directory) and regenerates every artifact under
+# benchmarks/results/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-.}"
+
+echo "== installing (editable) =="
+pip install -e . --no-build-isolation --quiet
+
+echo "== test suite =="
+python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt"
+
+echo "== benchmark harness (regenerates every figure & theorem) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt"
+
+echo "== examples =="
+for example in examples/*.py; do
+    echo "--- $example"
+    python "$example" > /dev/null
+done
+
+echo
+echo "done.  artifacts: benchmarks/results/  |  logs: $OUT/test_output.txt, $OUT/bench_output.txt"

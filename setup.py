@@ -1,0 +1,13 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) are unavailable.  With
+this shim present and no ``[build-system]`` table in pyproject.toml,
+``pip install -e .`` falls back to the legacy ``setup.py develop``
+path, which works offline.  All project metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

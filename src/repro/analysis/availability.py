@@ -1,0 +1,194 @@
+"""Availability analysis: why the paper constrains the scheme size.
+
+Paper §1: the model *"accounts ... for limits on the minimum number of
+copies of the object (to ensure availability)"*, and §2 prescribes
+quorum consensus under failures.  This module quantifies both choices
+for independent fail-stop nodes, each up with probability ``p``:
+
+* **ROWA** (read-one-write-all — SA's regime, and DA's in the normal
+  mode): a read succeeds iff *some* scheme member is up
+  (``1 - (1-p)^t``), a write iff *all* are (``p^t``) — the classic
+  asymmetry: more copies help reads and hurt writes.
+* **Weighted-vote quorums**: an operation succeeds iff the live vote
+  total reaches its quorum; computed exactly by dynamic programming
+  over the vote-count distribution (no normal approximations).
+* :func:`best_quorums` searches all intersecting ``(r, w)`` pairs for
+  the pair maximizing availability under a given read/write mix —
+  reproducing Gifford's observation that read-heavy mixes want small
+  read quorums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"probability must be in [0, 1], got {p}")
+
+
+# -- ROWA (SA, and DA's normal mode) ------------------------------------------
+
+
+def rowa_read_availability(p: float, copies: int) -> float:
+    """P[some replica is up] = 1 - (1-p)^copies."""
+    _check_probability(p)
+    if copies < 1:
+        raise ConfigurationError("need at least one copy")
+    return 1.0 - (1.0 - p) ** copies
+
+
+def rowa_write_availability(p: float, copies: int) -> float:
+    """P[every replica is up] = p^copies."""
+    _check_probability(p)
+    if copies < 1:
+        raise ConfigurationError("need at least one copy")
+    return p ** copies
+
+
+def rowa_availability(
+    p: float, copies: int, write_fraction: float
+) -> float:
+    """Mix-weighted ROWA availability."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    return (1 - write_fraction) * rowa_read_availability(p, copies) + \
+        write_fraction * rowa_write_availability(p, copies)
+
+
+# -- weighted-vote quorums ------------------------------------------------------
+
+
+def live_vote_distribution(
+    p: float, votes: Sequence[int]
+) -> List[float]:
+    """Exact distribution of the live vote total.
+
+    ``distribution[v]`` is the probability that exactly ``v`` votes are
+    live, computed by convolving one Bernoulli factor per node.
+    """
+    _check_probability(p)
+    for weight in votes:
+        if weight < 0:
+            raise ConfigurationError("vote weights must be non-negative")
+    total = sum(votes)
+    distribution = [0.0] * (total + 1)
+    distribution[0] = 1.0
+    for weight in votes:
+        updated = [0.0] * (total + 1)
+        for live_votes, probability in enumerate(distribution):
+            if probability == 0.0:
+                continue
+            updated[live_votes] += probability * (1 - p)
+            updated[live_votes + weight] += probability * p
+        distribution = updated
+    return distribution
+
+
+def quorum_availability(
+    p: float, votes: Sequence[int], quorum: int
+) -> float:
+    """P[live vote total >= quorum]."""
+    distribution = live_vote_distribution(p, votes)
+    if not 1 <= quorum <= len(distribution) - 1:
+        raise ConfigurationError(
+            f"quorum must be within [1, {len(distribution) - 1}]"
+        )
+    return sum(distribution[quorum:])
+
+
+@dataclass(frozen=True)
+class QuorumChoice:
+    """One (read quorum, write quorum) configuration and its availability."""
+
+    read_quorum: int
+    write_quorum: int
+    read_availability: float
+    write_availability: float
+    mixed_availability: float
+
+
+def quorum_mixed_availability(
+    p: float,
+    votes: Sequence[int],
+    read_quorum: int,
+    write_quorum: int,
+    write_fraction: float,
+) -> QuorumChoice:
+    """Availability of one quorum configuration under a request mix."""
+    total = sum(votes)
+    if read_quorum + write_quorum <= total:
+        raise ConfigurationError(
+            f"r={read_quorum} + w={write_quorum} must exceed the total "
+            f"vote count {total}"
+        )
+    read_avail = quorum_availability(p, votes, read_quorum)
+    write_avail = quorum_availability(p, votes, write_quorum)
+    mixed = (1 - write_fraction) * read_avail + write_fraction * write_avail
+    return QuorumChoice(
+        read_quorum, write_quorum, read_avail, write_avail, mixed
+    )
+
+
+def best_quorums(
+    p: float,
+    votes: Sequence[int],
+    write_fraction: float,
+) -> QuorumChoice:
+    """The intersecting ``(r, w)`` pair maximizing mixed availability.
+
+    Ties break toward the smallest read quorum (cheapest reads) and
+    then the smallest write quorum, so results are deterministic.
+    """
+    total = sum(votes)
+    if total < 1:
+        raise ConfigurationError("need at least one vote")
+    best: Optional[QuorumChoice] = None
+    for read_quorum in range(1, total + 1):
+        write_quorum = total - read_quorum + 1
+        if write_quorum < 1:
+            continue
+        choice = quorum_mixed_availability(
+            p, votes, read_quorum, write_quorum, write_fraction
+        )
+        if (
+            best is None
+            or choice.mixed_availability > best.mixed_availability + 1e-15
+        ):
+            best = choice
+    assert best is not None
+    return best
+
+
+# -- SA vs quorum comparisons ----------------------------------------------------
+
+
+def availability_table(
+    p: float,
+    n: int,
+    thresholds: Iterable[int],
+    write_fraction: float,
+) -> List[Tuple[int, float, float, float]]:
+    """Rows of (t, ROWA read, ROWA write, majority-quorum mixed
+    availability over n one-vote nodes) — the data behind the
+    availability benchmark."""
+    votes = [1] * n
+    majority = n // 2 + 1
+    quorum = quorum_mixed_availability(
+        p, votes, majority, majority, write_fraction
+    )
+    rows = []
+    for t in thresholds:
+        rows.append(
+            (
+                t,
+                rowa_read_availability(p, t),
+                rowa_write_availability(p, t),
+                quorum.mixed_availability,
+            )
+        )
+    return rows

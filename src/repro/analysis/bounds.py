@@ -1,0 +1,128 @@
+"""The paper's proven competitiveness bounds as executable functions.
+
+Every theorem and proposition of §2/§4 is encoded here so benchmarks
+can compare measured ratios against the claimed factors:
+
+* Theorem 1  — SA is ``(1 + c_c + c_d)``-competitive (stationary).
+* Proposition 1 — SA is not ``α``-competitive for ``α < 1 + c_c + c_d``
+  (the Theorem 1 factor is tight).
+* Theorem 2  — DA is ``(2 + 2 c_c)``-competitive (stationary).
+* Theorem 3  — DA is ``(2 + c_c)``-competitive when ``c_d > 1``.
+* Proposition 2 — DA is not ``α``-competitive for ``α < 1.5``.
+* Proposition 3 — SA is not competitive in the mobile model.
+* Theorem 4  — DA is ``(2 + 3 c_c / c_d)``-competitive (mobile), hence
+  at most 5 because ``c_c <= c_d``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+
+#: Proposition 2: DA's competitive factor is at least this, in every model.
+DA_LOWER_BOUND = 1.5
+
+#: Theorem 4 corollary: DA's mobile factor never exceeds 5 (c_c <= c_d).
+DA_MOBILE_CEILING = 5.0
+
+
+def sa_competitive_factor(model: CostModel) -> float:
+    """The best proven upper bound on SA's competitive factor.
+
+    Theorem 1 for the stationary model; infinity for the mobile model,
+    where Proposition 3 shows SA is not competitive at all.
+    """
+    if model.is_mobile:
+        return math.inf
+    normalized = model.normalized()
+    return 1.0 + normalized.c_c + normalized.c_d
+
+
+def sa_lower_bound(model: CostModel) -> float:
+    """The proven lower bound on SA's competitive factor.
+
+    Proposition 1 makes Theorem 1 tight in the stationary model;
+    Proposition 3 makes the mobile factor unbounded.
+    """
+    return sa_competitive_factor(model)
+
+
+def da_competitive_factor(model: CostModel) -> float:
+    """The best proven upper bound on DA's competitive factor.
+
+    Theorems 2 and 3 (stationary: ``2 + 2 c_c``, improved to
+    ``2 + c_c`` when ``c_d > 1``) and Theorem 4 (mobile:
+    ``2 + 3 c_c / c_d``).  A mobile model with ``c_d = 0`` makes every
+    legal allocation schedule free, so any algorithm is trivially
+    1-competitive there.
+    """
+    if model.is_mobile:
+        if model.c_d == 0:
+            return 1.0
+        return 2.0 + 3.0 * model.c_c / model.c_d
+    normalized = model.normalized()
+    if normalized.c_d > 1.0:
+        return 2.0 + normalized.c_c
+    return 2.0 + 2.0 * normalized.c_c
+
+
+def da_lower_bound(model: CostModel) -> float:
+    """Proposition 2: DA is not ``α``-competitive for any ``α < 1.5``.
+
+    The one degenerate exception: a mobile model with ``c_d = 0``
+    (hence ``c_c = 0``) prices every legal allocation schedule at zero,
+    so every algorithm is trivially 1-competitive.
+    """
+    if model.is_mobile and model.c_d == 0:
+        return 1.0
+    return DA_LOWER_BOUND
+
+
+def sa_is_competitive(model: CostModel) -> bool:
+    """Proposition 3: SA is competitive iff the model is stationary."""
+    return model.is_stationary
+
+
+def da_superior(model: CostModel) -> bool:
+    """True where the paper *proves* DA superior to SA.
+
+    Mobile model: always (Theorem 4 + Proposition 3).  Stationary
+    model: when ``c_d > 1``, because then SA's tight factor
+    ``1 + c_c + c_d`` exceeds DA's upper bound ``2 + c_c``.
+    """
+    if model.is_mobile:
+        return model.c_d > 0 or model.c_c > 0
+    normalized = model.normalized()
+    return normalized.c_d > 1.0
+
+
+def sa_superior(model: CostModel) -> bool:
+    """True where the paper *proves* SA superior to DA.
+
+    Stationary model with ``c_c + c_d < 0.5``: SA's tight factor
+    ``1 + c_c + c_d`` is below DA's lower bound 1.5.  Never in the
+    mobile model.
+    """
+    if model.is_mobile:
+        return False
+    normalized = model.normalized()
+    return normalized.c_c + normalized.c_d < 0.5
+
+
+def feasible(c_c: float, c_d: float) -> bool:
+    """Figure 1/2 feasibility: a data message carries the object content
+    on top of all control-message fields, so ``c_c <= c_d``."""
+    return 0.0 <= c_c <= c_d
+
+
+def check_bounds_consistency(model: CostModel) -> None:
+    """Internal sanity: a proven lower bound must not exceed the proven
+    upper bound.  Raises :class:`ConfigurationError` on violation
+    (which would indicate a transcription mistake, not a paper error).
+    """
+    if sa_lower_bound(model) > sa_competitive_factor(model) + 1e-12:
+        raise ConfigurationError("SA bounds inconsistent")
+    if da_lower_bound(model) > da_competitive_factor(model) + 1e-12:
+        raise ConfigurationError("DA bounds inconsistent")

@@ -1,0 +1,125 @@
+"""Calibration: from hardware numbers to the paper's cost parameters.
+
+The model's ``(c_io, c_c, c_d)`` are abstract ratios; a deployment has
+concrete numbers — message sizes, link bandwidth, round-trip latency,
+disk service times, per-message tariffs.  This module converts:
+
+* **Stationary** (§3.2): a message's cost is the resource time it
+  occupies, ``rtt/2 + bytes / bandwidth``; an I/O's is the disk service
+  time.  Normalizing by the I/O time yields ``c_c`` and ``c_d`` with
+  ``c_io = 1`` — ready for :func:`repro.model.cost_model.stationary`.
+* **Mobile** (§3.3): the user is billed per message; with a per-message
+  fee plus a per-byte rate, ``c_c`` and ``c_d`` are the charges
+  themselves and ``c_io = 0``.
+
+The classifier functions then say, straight from Figure 1/2, which
+algorithm the calibrated point favours — the end-to-end "what should I
+deploy" question the paper answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.regions import Region, classify_mobile, classify_stationary
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel, mobile, stationary
+
+
+@dataclass(frozen=True)
+class StationaryHardware:
+    """A wired deployment's parameters."""
+
+    control_bytes: float = 64.0
+    object_bytes: float = 8192.0
+    bandwidth_bytes_per_ms: float = 12_500.0  # 100 Mbit/s
+    one_way_latency_ms: float = 0.5
+    io_service_ms: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "control_bytes", "object_bytes", "bandwidth_bytes_per_ms",
+            "one_way_latency_ms", "io_service_ms",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.object_bytes < self.control_bytes:
+            raise ConfigurationError(
+                "the object (plus headers) cannot be smaller than a "
+                "control message — Figure 1's feasibility constraint"
+            )
+
+    def message_ms(self, payload_bytes: float) -> float:
+        return self.one_way_latency_ms + payload_bytes / self.bandwidth_bytes_per_ms
+
+
+@dataclass(frozen=True)
+class MobileTariff:
+    """A wireless provider's billing parameters."""
+
+    per_message_fee: float = 0.05
+    per_kilobyte_fee: float = 0.01
+    control_bytes: float = 64.0
+    object_bytes: float = 8192.0
+
+    def __post_init__(self) -> None:
+        if self.per_message_fee < 0 or self.per_kilobyte_fee < 0:
+            raise ConfigurationError("fees must be non-negative")
+        if self.per_message_fee == 0 and self.per_kilobyte_fee == 0:
+            raise ConfigurationError("a tariff must charge something")
+        if self.object_bytes < self.control_bytes:
+            raise ConfigurationError("the object cannot be smaller than a header")
+
+    def message_charge(self, payload_bytes: float) -> float:
+        return self.per_message_fee + self.per_kilobyte_fee * payload_bytes / 1024.0
+
+
+def calibrate_stationary(hardware: StationaryHardware) -> CostModel:
+    """The SC model point (``c_io = 1``) for a wired deployment."""
+    c_c = hardware.message_ms(hardware.control_bytes) / hardware.io_service_ms
+    c_d = hardware.message_ms(hardware.object_bytes) / hardware.io_service_ms
+    return stationary(c_c, c_d)
+
+
+def calibrate_mobile(tariff: MobileTariff) -> CostModel:
+    """The MC model point (``c_io = 0``) for a wireless tariff."""
+    c_c = tariff.message_charge(tariff.control_bytes)
+    c_d = tariff.message_charge(tariff.object_bytes)
+    return mobile(c_c, c_d)
+
+
+@dataclass(frozen=True)
+class DeploymentAdvice:
+    """The calibrated point and what Figure 1/2 says about it."""
+
+    model: CostModel
+    region: Region
+
+    @property
+    def recommendation(self) -> str:
+        if self.region is Region.DA_SUPERIOR:
+            return (
+                "dynamic allocation (DA): the object is expensive to ship "
+                "relative to I/O, so saved copies pay for themselves"
+            )
+        if self.region is Region.SA_SUPERIOR:
+            return (
+                "static allocation (SA): communication is nearly free, so "
+                "dynamic joins are wasted work"
+            )
+        return (
+            "contested regime: the proven bounds do not decide it — "
+            "measure with your workload (repro.analysis.expected_cost "
+            "or the competitiveness harness)"
+        )
+
+
+def advise_stationary(hardware: StationaryHardware) -> DeploymentAdvice:
+    model = calibrate_stationary(hardware)
+    return DeploymentAdvice(model, classify_stationary(model.c_c, model.c_d))
+
+
+def advise_mobile(tariff: MobileTariff) -> DeploymentAdvice:
+    model = calibrate_mobile(tariff)
+    return DeploymentAdvice(model, classify_mobile(model.c_c, model.c_d))

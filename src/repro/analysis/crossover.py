@@ -1,0 +1,65 @@
+"""Crossover location: where two algorithms trade places.
+
+The paper's Figure 1 places the SA/DA boundary analytically
+(``c_c + c_d = 0.5`` and ``c_d = 1``).  Empirically, the crossover also
+shows up along *workload* axes — e.g. the write fraction at which SA's
+mean cost drops below DA's.  :func:`find_crossover` locates such a
+point by bisection on a monotone(ish) cost-difference function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """A bracketed crossover of a scalar function."""
+
+    parameter: float
+    low: float
+    high: float
+    difference_low: float
+    difference_high: float
+
+
+def find_crossover(
+    difference: Callable[[float], float],
+    low: float,
+    high: float,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> Optional[Crossover]:
+    """Bisect for a sign change of ``difference`` on ``[low, high]``.
+
+    Returns ``None`` when the endpoints have the same sign (no
+    crossover inside the bracket).  ``difference`` is typically
+    ``cost_A(x) - cost_B(x)`` over a deterministic workload.
+    """
+    if low >= high:
+        raise ConfigurationError(f"invalid bracket [{low}, {high}]")
+    value_low = difference(low)
+    value_high = difference(high)
+    if value_low == 0.0:
+        return Crossover(low, low, low, value_low, value_low)
+    if value_high == 0.0:
+        return Crossover(high, high, high, value_high, value_high)
+    if (value_low > 0) == (value_high > 0):
+        return None
+    lo, hi = low, high
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance:
+            break
+        mid = (lo + hi) / 2.0
+        value_mid = difference(mid)
+        if value_mid == 0.0:
+            return Crossover(mid, lo, hi, value_low, value_high)
+        if (value_mid > 0) == (value_low > 0):
+            lo, value_low = mid, value_mid
+        else:
+            hi, value_high = mid, value_mid
+    mid = (lo + hi) / 2.0
+    return Crossover(mid, lo, hi, value_low, value_high)

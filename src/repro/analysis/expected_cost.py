@@ -1,0 +1,204 @@
+"""Average-case (expected) cost analysis under an i.i.d. workload.
+
+The paper argues by worst case and remarks that worst-case superiority
+"is usually" reflected on average (§2).  This module makes the average
+case exact for the simplest stochastic workload — each request is,
+independently, a write with probability ``w`` and is issued by a
+processor chosen uniformly among ``n`` — so the benchmark harness can
+compare the analytic crossover against simulation.
+
+* :func:`sa_expected_cost` — closed form.  SA's scheme is static, so
+  requests are i.i.d. in cost:
+
+  ``E[read]  = c_io + (1 - t/n) (c_c + c_d)``
+  ``E[write] = t c_io + (t - t/n) c_d``
+
+* :class:`DAExpectedCost` — exact long-run average via the Markov chain
+  on DA's scheme.  With uniform issuers, the scheme is ``F ∪ M`` where
+  ``M`` is the set of non-core copy holders; ``M`` is a Markov chain on
+  the non-empty subsets of the ``n - t + 1`` non-core processors:
+
+  - a read by a holder costs ``c_io`` and leaves ``M`` unchanged;
+  - a read by a non-holder costs ``c_c + 2 c_io + c_d`` (the
+    saving-read) and adds the reader to ``M``;
+  - a write by ``j`` resets ``M`` to ``{p}`` (if ``j ∈ F ∪ {p}``) or
+    ``{j}``, costing ``|M \\ {m}| c_c + (t-1) c_d + t c_io`` where
+    ``m`` is the surviving non-core holder.
+
+  The stationary distribution is computed with numpy; the state space
+  is ``2^(n-t+1) - 1``, fine for ``n ≤ 12``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+
+
+def _validate(n: int, threshold: int, write_fraction: float) -> None:
+    if threshold < 2:
+        raise ConfigurationError("t must be at least 2")
+    if n <= threshold:
+        raise ConfigurationError(
+            "need more processors than t (otherwise every write is "
+            "trivially write-all, paper §3.1)"
+        )
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+
+
+def sa_expected_cost(
+    model: CostModel,
+    n: int,
+    threshold: int,
+    write_fraction: float,
+) -> float:
+    """Exact expected per-request cost of SA under the i.i.d. workload."""
+    _validate(n, threshold, write_fraction)
+    t = threshold
+    member = t / n
+    expected_read = model.c_io + (1 - member) * (model.c_c + model.c_d)
+    expected_write = t * model.c_io + (t - member) * model.c_d
+    return (
+        (1 - write_fraction) * expected_read
+        + write_fraction * expected_write
+    )
+
+
+@dataclass(frozen=True)
+class DAExpectedResult:
+    """The chain's answer: long-run average cost and scheme size."""
+
+    expected_cost: float
+    expected_scheme_size: float
+
+
+class DAExpectedCost:
+    """Exact long-run average per-request cost of DA (Markov chain)."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        n: int,
+        threshold: int,
+        write_fraction: float,
+    ) -> None:
+        _validate(n, threshold, write_fraction)
+        self.model = model
+        self.n = n
+        self.threshold = threshold
+        self.write_fraction = write_fraction
+        #: Non-core processors: p plus everyone outside the initial scheme.
+        self.non_core = n - (threshold - 1)
+        if self.non_core > 12:
+            raise ConfigurationError(
+                "the exact chain is limited to n - t + 1 <= 12 non-core "
+                "processors"
+            )
+
+    def solve(self) -> DAExpectedResult:
+        n, t, w = self.n, self.threshold, self.write_fraction
+        c_io, c_c, c_d = self.model.c_io, self.model.c_c, self.model.c_d
+        nc = self.non_core  # non-core processors, index 0 is p
+        states = [mask for mask in range(1, 1 << nc)]
+        index = {mask: position for position, mask in enumerate(states)}
+        size = len(states)
+        transition = np.zeros((size, size))
+        cost = np.zeros(size)
+
+        read_probability = (1 - w) / n
+        write_probability = w / n
+        local_read = c_io
+        saving_read = c_c + 2 * c_io + c_d
+        write_base = (t - 1) * c_d + t * c_io
+
+        for mask in states:
+            row = index[mask]
+            holders = mask.bit_count()
+            # Reads by core members (t-1 of them) and by holders: local.
+            local_readers = (t - 1) + holders
+            transition[row, row] += local_readers * read_probability
+            cost[row] += local_readers * read_probability * local_read
+            # Reads by each non-holder: saving-read, the reader joins.
+            for reader in range(nc):
+                bit = 1 << reader
+                if mask & bit:
+                    continue
+                joined = index[mask | bit]
+                transition[row, joined] += read_probability
+                cost[row] += read_probability * saving_read
+            # Writes by core members or p: M resets to {p}.
+            insiders = t  # (t-1) core members plus p
+            survivor = 1  # p's bit
+            stale = (mask & ~survivor).bit_count()
+            target = index[survivor]
+            transition[row, target] += insiders * write_probability
+            cost[row] += insiders * write_probability * (
+                write_base + stale * c_c
+            )
+            # Writes by each non-core, non-p processor j: M resets to {j}.
+            for writer in range(1, nc):
+                bit = 1 << writer
+                stale = (mask & ~bit).bit_count()
+                transition[row, index[bit]] += write_probability
+                cost[row] += write_probability * (write_base + stale * c_c)
+
+        stationary = self._stationary(transition)
+        expected_cost = float(stationary @ cost)
+        sizes = np.array(
+            [(t - 1) + mask.bit_count() for mask in states], dtype=float
+        )
+        expected_size = float(stationary @ sizes)
+        return DAExpectedResult(expected_cost, expected_size)
+
+    @staticmethod
+    def _stationary(transition: np.ndarray) -> np.ndarray:
+        """Stationary distribution of a row-stochastic matrix.
+
+        Solved as the null space of ``(P^T - I)`` with the normalization
+        constraint appended; least-squares keeps absorbing chains (the
+        ``w = 0`` case) well-behaved.
+        """
+        size = transition.shape[0]
+        a = np.vstack([transition.T - np.eye(size), np.ones((1, size))])
+        b = np.zeros(size + 1)
+        b[-1] = 1.0
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        total = solution.sum()
+        if total <= 0:
+            raise ConfigurationError("stationary solve failed")
+        return solution / total
+
+
+def da_expected_cost(
+    model: CostModel,
+    n: int,
+    threshold: int,
+    write_fraction: float,
+) -> float:
+    """Convenience wrapper around :class:`DAExpectedCost`."""
+    return DAExpectedCost(model, n, threshold, write_fraction).solve().expected_cost
+
+
+def analytic_crossover_write_fraction(
+    model: CostModel,
+    n: int,
+    threshold: int = 2,
+    resolution: int = 400,
+) -> float | None:
+    """The smallest write fraction at which SA's expected cost drops to
+    DA's (scanning ``[0, 1]``); ``None`` if DA never loses."""
+    previous_sign = None
+    for step in range(resolution + 1):
+        w = step / resolution
+        difference = da_expected_cost(model, n, threshold, w) - \
+            sa_expected_cost(model, n, threshold, w)
+        sign = difference > 0
+        if previous_sign is not None and sign != previous_sign:
+            return w
+        previous_sign = sign
+    return None

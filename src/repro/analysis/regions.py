@@ -1,0 +1,201 @@
+"""Region maps on the (c_d, c_c) plane — Figures 1 and 2 of the paper.
+
+Figure 1 (stationary model) partitions the feasible half-plane
+(``c_c <= c_d``) into:
+
+* **SA superior** — ``c_c + c_d < 0.5``: SA's tight factor
+  ``1 + c_c + c_d`` is below DA's proven lower bound 1.5;
+* **DA superior** — ``c_d > 1``: SA's tight factor exceeds DA's upper
+  bound ``2 + c_c``;
+* **Unknown** — the remaining wedge, where the gap between DA's upper
+  and lower bounds leaves the comparison open;
+* **Cannot be true** — ``c_c > c_d``.
+
+Figure 2 (mobile model) has only two regions: *Cannot be true* above
+the diagonal and *DA superior* everywhere else (SA is not competitive
+at all in the mobile model).
+
+:class:`RegionMap` evaluates the classification over a grid, both
+*theoretically* (straight from the bounds) and *empirically* (worst
+measured ratio of each algorithm over a schedule suite, the winner
+being the algorithm with the smaller worst case).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.bounds import (
+    da_competitive_factor,
+    da_lower_bound,
+    feasible,
+    sa_lower_bound,
+)
+from repro.core.competitive import CompetitivenessHarness
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import mobile, stationary
+from repro.model.schedule import Schedule
+from repro.types import processor_set
+
+
+class Region(enum.Enum):
+    """Classification of one point of the (c_d, c_c) plane."""
+
+    SA_SUPERIOR = "SA"
+    DA_SUPERIOR = "DA"
+    UNKNOWN = "??"
+    INFEASIBLE = "XX"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_stationary(c_c: float, c_d: float) -> Region:
+    """Figure 1's theoretical classification of one point."""
+    if not feasible(c_c, c_d):
+        return Region.INFEASIBLE
+    model = stationary(c_c, c_d)
+    if sa_lower_bound(model) < da_lower_bound(model):
+        return Region.SA_SUPERIOR
+    if sa_lower_bound(model) > da_competitive_factor(model):
+        return Region.DA_SUPERIOR
+    return Region.UNKNOWN
+
+
+def classify_mobile(c_c: float, c_d: float) -> Region:
+    """Figure 2's theoretical classification of one point."""
+    if not feasible(c_c, c_d):
+        return Region.INFEASIBLE
+    if c_d == 0.0:
+        # Everything is free: the comparison is vacuous.
+        return Region.UNKNOWN
+    return Region.DA_SUPERIOR
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated grid cell."""
+
+    c_c: float
+    c_d: float
+    region: Region
+    sa_ratio: Optional[float] = None
+    da_ratio: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """A rectangular grid of classified (c_d, c_c) points."""
+
+    c_d_values: tuple[float, ...]
+    c_c_values: tuple[float, ...]
+    points: tuple[GridPoint, ...]
+    mobile: bool
+
+    def at(self, c_c: float, c_d: float) -> GridPoint:
+        for point in self.points:
+            if point.c_c == c_c and point.c_d == c_d:
+                return point
+        raise KeyError((c_c, c_d))
+
+    def rows(self) -> list[list[GridPoint]]:
+        """Points grouped by ``c_c`` (descending, like the figures'
+        y-axis) with ``c_d`` ascending inside each row."""
+        grouped: dict[float, list[GridPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.c_c, []).append(point)
+        rows = []
+        for c_c in sorted(grouped, reverse=True):
+            rows.append(sorted(grouped[c_c], key=lambda p: p.c_d))
+        return rows
+
+
+def grid(
+    c_d_max: float = 2.0, c_c_max: float = 2.0, steps: int = 9
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """An evenly spaced evaluation grid for the two figures."""
+    if steps < 2:
+        raise ConfigurationError("need at least two grid steps")
+    c_d_values = tuple(
+        round(c_d_max * index / (steps - 1), 10) for index in range(steps)
+    )
+    c_c_values = tuple(
+        round(c_c_max * index / (steps - 1), 10) for index in range(steps)
+    )
+    return c_d_values, c_c_values
+
+
+def theoretical_map(
+    mobile_model: bool = False,
+    c_d_max: float = 2.0,
+    c_c_max: float = 2.0,
+    steps: int = 9,
+) -> RegionMap:
+    """The straight-from-the-theorems region map (Figure 1 or 2)."""
+    c_d_values, c_c_values = grid(c_d_max, c_c_max, steps)
+    classify = classify_mobile if mobile_model else classify_stationary
+    points = tuple(
+        GridPoint(c_c, c_d, classify(c_c, c_d))
+        for c_c in c_c_values
+        for c_d in c_d_values
+    )
+    return RegionMap(c_d_values, c_c_values, points, mobile_model)
+
+
+def empirical_winner(
+    c_c: float,
+    c_d: float,
+    schedules: Sequence[Schedule],
+    initial_scheme: Iterable[int],
+    mobile_model: bool = False,
+    threshold: int = 2,
+    margin: float = 1e-9,
+) -> GridPoint:
+    """Classify one feasible point by measured worst-case ratios.
+
+    The winner is the algorithm whose worst ratio over ``schedules`` is
+    smaller; ties (within ``margin``) are reported as UNKNOWN.
+    """
+    if not feasible(c_c, c_d):
+        return GridPoint(c_c, c_d, Region.INFEASIBLE)
+    scheme = processor_set(initial_scheme)
+    model = mobile(c_c, c_d) if mobile_model else stationary(c_c, c_d)
+    harness = CompetitivenessHarness(model, threshold)
+    sa_report = harness.measure(lambda: StaticAllocation(scheme), schedules)
+    da_report = harness.measure(lambda: DynamicAllocation(scheme), schedules)
+    sa_ratio = sa_report.max_ratio
+    da_ratio = da_report.max_ratio
+    if sa_ratio < da_ratio - margin:
+        region = Region.SA_SUPERIOR
+    elif da_ratio < sa_ratio - margin:
+        region = Region.DA_SUPERIOR
+    else:
+        region = Region.UNKNOWN
+    return GridPoint(c_c, c_d, region, sa_ratio, da_ratio)
+
+
+def empirical_map(
+    schedules: Sequence[Schedule],
+    initial_scheme: Iterable[int],
+    mobile_model: bool = False,
+    c_d_max: float = 2.0,
+    c_c_max: float = 2.0,
+    steps: int = 9,
+    threshold: int = 2,
+) -> RegionMap:
+    """Measured region map over a grid (the empirical Figure 1 / 2)."""
+    c_d_values, c_c_values = grid(c_d_max, c_c_max, steps)
+    points = []
+    for c_c in c_c_values:
+        for c_d in c_d_values:
+            points.append(
+                empirical_winner(
+                    c_c, c_d, schedules, initial_scheme,
+                    mobile_model, threshold,
+                )
+            )
+    return RegionMap(c_d_values, c_c_values, tuple(points), mobile_model)

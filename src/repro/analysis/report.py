@@ -1,0 +1,90 @@
+"""Plain-text report formatting for benchmark output.
+
+The benchmark harness prints the paper's artifacts as aligned text
+tables (the environment has no plotting libraries).  These helpers keep
+all formatting in one place so every bench prints consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[index]) for index, cell in enumerate(cells)
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_mapping(
+    mapping: Mapping[str, object], title: Optional[str] = None
+) -> str:
+    """Render a key/value mapping as a two-column table."""
+    rows = [(key, value) for key, value in mapping.items()]
+    return format_table(["key", "value"], rows, title=title)
+
+
+def format_ratio_check(
+    name: str,
+    measured: float,
+    bound: float,
+    kind: str = "upper",
+) -> str:
+    """One-line PASS/FAIL summary comparing a measurement to a bound."""
+    if kind == "upper":
+        ok = measured <= bound + 1e-9
+        relation = "<="
+    elif kind == "lower":
+        ok = measured >= bound - 1e-9
+        relation = ">="
+    else:
+        raise ConfigurationError(f"unknown bound kind {kind!r}")
+    status = "PASS" if ok else "FAIL"
+    return (
+        f"[{status}] {name}: measured {measured:.4f} {relation} "
+        f"bound {bound:.4f}"
+    )
+
+
+def bullet_list(items: Iterable[str]) -> str:
+    return "\n".join(f"  - {item}" for item in items)

@@ -1,0 +1,114 @@
+"""Parameter sweeps: measure algorithms across a parameter range.
+
+Used by the ablation benchmarks: the ``t``-independence claim of §2
+("these competitiveness factors are independent of the integer t"),
+the read/write-mix crossover, and the convergent-vs-competitive
+comparison all reduce to sweeping one knob and recording per-algorithm
+costs and ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.base import OnlineDOM
+from repro.core.competitive import CompetitivenessHarness
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+from repro.model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Measurements at one parameter value."""
+
+    parameter: float
+    max_ratios: Mapping[str, float]
+    mean_ratios: Mapping[str, float]
+    mean_costs: Mapping[str, float]
+
+    def ratio_of(self, name: str) -> float:
+        return self.max_ratios[name]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All rows of one sweep, in parameter order."""
+
+    parameter_name: str
+    rows: tuple[SweepRow, ...]
+
+    def series(self, algorithm: str) -> list[tuple[float, float]]:
+        """(parameter, max ratio) pairs for one algorithm."""
+        return [(row.parameter, row.max_ratios[algorithm]) for row in self.rows]
+
+    def algorithms(self) -> list[str]:
+        return sorted(self.rows[0].max_ratios) if self.rows else []
+
+
+def sweep(
+    parameter_name: str,
+    parameter_values: Sequence[float],
+    factories_for: Callable[[float], Mapping[str, Callable[[], OnlineDOM]]],
+    schedules_for: Callable[[float], Sequence[Schedule]],
+    model_for: Callable[[float], CostModel],
+    threshold_for: Callable[[float], int] = lambda value: 2,
+    exact_limit: int = 12,
+) -> SweepResult:
+    """Generic sweep driver.
+
+    For each parameter value, builds the cost model, the schedule suite
+    and one factory per algorithm, measures every algorithm on every
+    schedule against the offline reference, and records max/mean ratios
+    and mean costs.
+    """
+    if not parameter_values:
+        raise ConfigurationError("no parameter values to sweep")
+    rows = []
+    for value in parameter_values:
+        model = model_for(value)
+        schedules = schedules_for(value)
+        harness = CompetitivenessHarness(
+            model, threshold_for(value), exact_limit
+        )
+        max_ratios: dict[str, float] = {}
+        mean_ratios: dict[str, float] = {}
+        mean_costs: dict[str, float] = {}
+        for name, factory in factories_for(value).items():
+            report = harness.measure(factory, schedules)
+            max_ratios[name] = report.max_ratio
+            mean_ratios[name] = report.mean_ratio
+            mean_costs[name] = sum(
+                obs.algorithm_cost for obs in report.observations
+            ) / len(report.observations)
+        rows.append(SweepRow(value, max_ratios, mean_ratios, mean_costs))
+    return SweepResult(parameter_name, tuple(rows))
+
+
+def cost_sweep(
+    parameter_name: str,
+    parameter_values: Sequence[float],
+    factories_for: Callable[[float], Mapping[str, Callable[[], OnlineDOM]]],
+    schedules_for: Callable[[float], Sequence[Schedule]],
+    model_for: Callable[[float], CostModel],
+) -> SweepResult:
+    """A cheaper sweep that skips the offline reference (ratios are set
+    to raw mean costs) — used when only *relative* algorithm costs
+    matter, e.g. the read/write-mix crossover on long schedules."""
+    if not parameter_values:
+        raise ConfigurationError("no parameter values to sweep")
+    rows = []
+    for value in parameter_values:
+        model = model_for(value)
+        schedules = schedules_for(value)
+        mean_costs: dict[str, float] = {}
+        for name, factory in factories_for(value).items():
+            costs = []
+            for schedule in schedules:
+                algorithm = factory()
+                allocation = algorithm.run(schedule)
+                costs.append(model.schedule_cost(allocation))
+            mean_costs[name] = sum(costs) / len(costs)
+        rows.append(SweepRow(value, dict(mean_costs), dict(mean_costs), mean_costs))
+    return SweepResult(parameter_name, tuple(rows))

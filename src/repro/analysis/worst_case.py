@@ -1,0 +1,196 @@
+"""Exhaustive worst-case search over small schedule spaces.
+
+Paper §6.1 leaves a gap: DA's competitive factor is proven to lie
+between 1.5 (Proposition 2) and ``2 + 2 c_c`` (Theorem 2), and *"this
+gap is the subject of future research"*.  This module attacks the gap
+empirically: it enumerates **every** schedule of a given length over a
+small processor set, prices the algorithm against the exact offline
+optimum, and returns the worst ratio together with the schedule that
+achieves it.
+
+Because every prefix of an enumerated schedule is itself a schedule,
+the search evaluates all prefixes too (the offline DP is carried
+incrementally through the DFS), so the result is the true worst
+cost-ratio over *all* schedules up to the given length on that
+universe.
+
+Caveat on interpretation: competitiveness (§4.1) tolerates an additive
+constant ``β``, so a bad ratio on one short schedule does not by itself
+bound the competitive factor — the bad pattern must be *sustainable*
+(repeatable with OPT's cost growing unboundedly).  The worst schedules
+this search finds are exactly the seeds of such families: repeat them
+with :func:`repro.workloads.adversarial.da_killer`-style constructions
+to turn a worst prefix into a factor lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.core.base import OnlineDOM
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+from repro.model.request import Request, read, write
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId, processor_set
+
+
+@dataclass(frozen=True)
+class WorstCase:
+    """The worst schedule found and its costs."""
+
+    ratio: float
+    schedule: Schedule
+    algorithm_cost: float
+    optimal_cost: float
+
+
+class ExhaustiveSearch:
+    """Enumerate all schedules up to ``max_length`` over ``processors``.
+
+    The offline optimum is maintained incrementally as a DP table
+    (scheme-mask -> cost) pushed and popped along the DFS, so each node
+    costs ``O(states)`` for a read and ``O(states * targets)`` for a
+    write.  Keep ``len(processors) <= 5`` and ``max_length <= 7`` —
+    the schedule space is ``(2k)^L``.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        initial_scheme: Iterable[ProcessorId],
+        processors: Sequence[ProcessorId],
+        threshold: int = 2,
+    ) -> None:
+        self.cost_model = cost_model
+        self.initial_scheme = processor_set(initial_scheme)
+        self.processors = tuple(sorted(set(processors) | self.initial_scheme))
+        if threshold < 2:
+            raise ConfigurationError("t must be at least 2")
+        if len(self.initial_scheme) < threshold:
+            raise ConfigurationError("initial scheme smaller than t")
+        if len(self.processors) > 6:
+            raise ConfigurationError(
+                "exhaustive search is limited to 6 processors"
+            )
+        self.threshold = threshold
+        self._index = {p: i for i, p in enumerate(self.processors)}
+        n = len(self.processors)
+        self._targets = [
+            mask for mask in range(1 << n) if mask.bit_count() >= threshold
+        ]
+
+    # -- incremental offline-optimal transitions --------------------------
+
+    def _initial_dp(self) -> Dict[int, float]:
+        mask = 0
+        for member in self.initial_scheme:
+            mask |= 1 << self._index[member]
+        return {mask: 0.0}
+
+    def _advance(self, dp: Dict[int, float], request: Request) -> Dict[int, float]:
+        c_io = self.cost_model.c_io
+        c_c = self.cost_model.c_c
+        c_d = self.cost_model.c_d
+        bit = 1 << self._index[request.processor]
+        new_dp: Dict[int, float] = {}
+        if request.is_read:
+            fetch = c_c + c_io + c_d
+            for mask, cost in dp.items():
+                if mask & bit:
+                    candidate = cost + c_io
+                    if candidate < new_dp.get(mask, float("inf")):
+                        new_dp[mask] = candidate
+                else:
+                    candidate = cost + fetch
+                    if candidate < new_dp.get(mask, float("inf")):
+                        new_dp[mask] = candidate
+                    saved = mask | bit
+                    candidate = cost + fetch + c_io
+                    if candidate < new_dp.get(saved, float("inf")):
+                        new_dp[saved] = candidate
+            return new_dp
+        for mask, cost in dp.items():
+            for target in self._targets:
+                stale = mask & ~target
+                if target & bit:
+                    step = (
+                        stale.bit_count() * c_c
+                        + (target.bit_count() - 1) * c_d
+                        + target.bit_count() * c_io
+                    )
+                else:
+                    step = (
+                        (stale & ~bit).bit_count() * c_c
+                        + target.bit_count() * (c_d + c_io)
+                    )
+                candidate = cost + step
+                if candidate < new_dp.get(target, float("inf")):
+                    new_dp[target] = candidate
+        return new_dp
+
+    # -- the search ----------------------------------------------------------
+
+    def search(
+        self,
+        algorithm_factory: Callable[[], OnlineDOM],
+        max_length: int,
+        min_length: int = 1,
+    ) -> WorstCase:
+        """The worst ratio over every schedule with length in
+        ``[min_length, max_length]``."""
+        if max_length < min_length or min_length < 1:
+            raise ConfigurationError("invalid length bracket")
+        candidates = [read(p) for p in self.processors]
+        candidates += [write(p) for p in self.processors]
+        best: Optional[WorstCase] = None
+        prefix: list[Request] = []
+
+        def algorithm_cost() -> float:
+            algorithm = algorithm_factory()
+            allocation = algorithm.run(Schedule(tuple(prefix)))
+            return self.cost_model.schedule_cost(allocation)
+
+        def dfs(dp: Dict[int, float], depth: int) -> None:
+            nonlocal best
+            if depth >= min_length:
+                optimal = min(dp.values())
+                cost = algorithm_cost()
+                if optimal > 0:
+                    ratio = cost / optimal
+                elif cost > 0:
+                    ratio = float("inf")
+                else:
+                    ratio = 1.0
+                if best is None or ratio > best.ratio:
+                    best = WorstCase(
+                        ratio, Schedule(tuple(prefix)), cost, optimal
+                    )
+            if depth == max_length:
+                return
+            for request in candidates:
+                prefix.append(request)
+                dfs(self._advance(dp, request), depth + 1)
+                prefix.pop()
+
+        dfs(self._initial_dp(), 0)
+        assert best is not None  # min_length >= 1 guarantees a visit
+        return best
+
+
+def certified_worst_case(
+    algorithm_factory: Callable[[], OnlineDOM],
+    cost_model: CostModel,
+    initial_scheme: Iterable[ProcessorId],
+    extra_processors: Sequence[ProcessorId],
+    max_length: int = 5,
+) -> WorstCase:
+    """Convenience wrapper: the certified worst cost-ratio over all
+    schedules up to ``max_length`` on
+    ``initial_scheme ∪ extra_processors`` (see the module caveat on
+    turning this into a competitive-factor bound)."""
+    search = ExhaustiveSearch(
+        cost_model, initial_scheme, tuple(extra_processors)
+    )
+    return search.search(algorithm_factory, max_length)

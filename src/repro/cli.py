@@ -1,0 +1,459 @@
+"""Command-line interface: explore the paper from a shell.
+
+Subcommands
+-----------
+
+``repro bounds``     the theorem bounds and Figure 1/2 classification
+                     at one (c_c, c_d) point.
+``repro compare``    run SA/DA/baselines and the exact optimum on a
+                     schedule, print costs and ratios.
+``repro regions``    print the Figure 1 or Figure 2 region map
+                     (theoretical, or measured with ``--empirical``).
+``repro simulate``   run a schedule through the discrete-event SA/DA
+                     protocol and print the counted traffic.
+``repro workload``   generate a workload trace in the paper's notation.
+``repro expected``   expected-cost table under the i.i.d. workload and
+                     the analytic SA/DA crossover.
+``repro availability`` exact ROWA vs quorum availability for fail-stop
+                     nodes, plus the best (r, w) pair for the mix.
+``repro describe``   structural statistics of a schedule or trace file
+                     and the shape-based SA/DA hint.
+``repro calibrate``  map hardware numbers (bytes, bandwidth, latency,
+                     disk time — or a wireless tariff) onto the model's
+                     (c_c, c_d) point and quote Figure 1/2's verdict.
+
+Every command writes plain text to stdout; ``repro workload --out``
+writes a trace file loadable with ``repro compare --trace``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.availability import (
+    best_quorums,
+    quorum_availability,
+    rowa_read_availability,
+    rowa_write_availability,
+)
+from repro.analysis.calibration import (
+    MobileTariff,
+    StationaryHardware,
+    advise_mobile,
+    advise_stationary,
+)
+from repro.analysis.bounds import (
+    da_competitive_factor,
+    da_lower_bound,
+    sa_competitive_factor,
+)
+from repro.analysis.expected_cost import (
+    analytic_crossover_write_fraction,
+    da_expected_cost,
+    sa_expected_cost,
+)
+from repro.analysis.regions import (
+    classify_mobile,
+    classify_stationary,
+    empirical_map,
+    theoretical_map,
+)
+from repro.analysis.report import format_mapping, format_table
+from repro.core.competitive import CompetitivenessHarness
+from repro.core.factory import ALGORITHM_NAMES, make_algorithm
+from repro.distsim.runner import run_protocol
+from repro.exceptions import ReproError
+from repro.model.cost_model import CostModel, mobile, stationary
+from repro.model.schedule import Schedule
+from repro.viz.ascii_plot import render_region_map
+from repro.workloads import trace
+from repro.workloads.adversarial import adversarial_suite
+from repro.workloads.hotspot import ZipfWorkload
+from repro.workloads.markov import MarkovWorkload
+from repro.workloads.mobility import MobileLocationWorkload
+from repro.workloads.uniform import UniformWorkload
+
+
+def _model(args) -> CostModel:
+    if args.mobile:
+        return mobile(args.cc, args.cd)
+    return stationary(args.cc, args.cd)
+
+
+def _scheme(text: str) -> frozenset:
+    try:
+        return frozenset(int(item) for item in text.split(","))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad scheme {text!r}") from error
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cc", type=float, default=0.2,
+                        help="control-message cost c_c (default 0.2)")
+    parser.add_argument("--cd", type=float, default=1.5,
+                        help="data-message cost c_d (default 1.5)")
+    parser.add_argument("--mobile", action="store_true",
+                        help="mobile-computing model (c_io = 0)")
+
+
+def cmd_bounds(args) -> int:
+    model = _model(args)
+    classify = classify_mobile if args.mobile else classify_stationary
+    print(
+        format_mapping(
+            {
+                "model": str(model),
+                "SA factor (Thm 1 / Prop 3)": sa_competitive_factor(model),
+                "DA upper bound (Thm 2/3/4)": da_competitive_factor(model),
+                "DA lower bound (Prop 2)": da_lower_bound(model),
+                "region": classify(args.cc, args.cd).value,
+            },
+            title=f"Bounds at c_c={args.cc}, c_d={args.cd}",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    model = _model(args)
+    if args.trace:
+        schedule = trace.load(args.trace)
+    elif args.schedule:
+        schedule = Schedule.parse(args.schedule)
+    else:
+        print("compare: provide --schedule or --trace", file=sys.stderr)
+        return 2
+    scheme = args.scheme
+    harness = CompetitivenessHarness(model, threshold=len(scheme))
+    rows = []
+    for name in args.algorithms.split(","):
+        algorithm = make_algorithm(name.strip(), scheme, cost_model=model)
+        observation = harness.observe(algorithm, schedule)
+        rows.append(
+            (
+                algorithm.name,
+                observation.algorithm_cost,
+                observation.reference_cost,
+                observation.ratio,
+                "exact" if observation.exact_reference else "lower-bound",
+            )
+        )
+    print(
+        format_table(
+            ["algorithm", "cost", "OPT", "ratio", "reference"],
+            rows,
+            title=f"{model}, scheme {sorted(scheme)}, {len(schedule)} requests",
+        )
+    )
+    return 0
+
+
+def cmd_regions(args) -> int:
+    if args.empirical:
+        scheme = frozenset({1, 2})
+        suite = adversarial_suite(scheme, [5, 6, 7], rounds=4)
+        suite += UniformWorkload(range(1, 8), 20, 0.3).batch(2, seed=42)
+        region_map = empirical_map(
+            suite, scheme, mobile_model=args.mobile, steps=args.steps
+        )
+        flavor = "measured"
+    else:
+        region_map = theoretical_map(mobile_model=args.mobile, steps=args.steps)
+        flavor = "theory"
+    figure = "Figure 2" if args.mobile else "Figure 1"
+    print(render_region_map(region_map, title=f"{figure} ({flavor})"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    model = _model(args)
+    schedule = (
+        trace.load(args.trace) if args.trace else Schedule.parse(args.schedule)
+    )
+    stats = run_protocol(args.protocol, schedule, args.scheme)
+    print(
+        format_mapping(
+            {
+                "protocol": args.protocol.upper(),
+                "requests": stats.requests_completed,
+                "control messages": stats.control_messages,
+                "data messages": stats.data_messages,
+                "I/O operations": stats.io_reads + stats.io_writes,
+                "priced cost": stats.cost(model),
+                "mean latency": stats.mean_latency,
+                "max latency": stats.max_latency,
+            },
+            title=f"Discrete-event simulation under {model}",
+        )
+    )
+    return 0
+
+
+def cmd_workload(args) -> int:
+    processors = range(1, args.processors + 1)
+    if args.kind == "uniform":
+        generator = UniformWorkload(processors, args.length, args.write_fraction)
+    elif args.kind == "zipf":
+        generator = ZipfWorkload(
+            processors, args.length, args.write_fraction, exponent=args.skew
+        )
+    elif args.kind == "markov":
+        generator = MarkovWorkload(
+            processors, args.length, args.write_fraction,
+            stickiness=args.stickiness, locality=args.locality,
+        )
+    else:  # mobile
+        cells = list(processors)[: max(1, args.processors // 2)]
+        callers = list(processors)[max(1, args.processors // 2):] or cells
+        generator = MobileLocationWorkload(
+            cells, callers, args.length, move_probability=args.write_fraction
+        )
+    schedule = generator.generate(args.seed)
+    text = trace.dumps(schedule)
+    if args.out:
+        trace.save(schedule, args.out)
+        print(f"wrote {len(schedule)} requests to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_expected(args) -> int:
+    model = _model(args)
+    rows = []
+    for step in range(0, 11):
+        w = step / 10
+        rows.append(
+            (
+                w,
+                sa_expected_cost(model, args.n, args.t, w),
+                da_expected_cost(model, args.n, args.t, w),
+            )
+        )
+    body = format_table(
+        ["write fraction", "SA E[cost]", "DA E[cost]"],
+        rows,
+        title=f"Expected per-request cost, n={args.n}, t={args.t}, {model}",
+    )
+    print(body)
+    crossover = analytic_crossover_write_fraction(model, args.n, args.t)
+    if crossover is None:
+        print("\nno SA/DA crossover in [0, 1]")
+    else:
+        print(f"\nanalytic crossover at write fraction ~ {crossover:.4f}")
+    return 0
+
+
+def cmd_availability(args) -> int:
+    votes = [1] * args.n
+    majority = args.n // 2 + 1
+    rows = []
+    for t in range(2, args.n + 1):
+        rows.append(
+            (
+                t,
+                rowa_read_availability(args.p, t),
+                rowa_write_availability(args.p, t),
+            )
+        )
+    print(
+        format_table(
+            ["t (copies)", "ROWA read avail", "ROWA write avail"],
+            rows,
+            title=f"ROWA availability, node up-probability {args.p}",
+            float_format="{:.5f}",
+        )
+    )
+    quorum = quorum_availability(args.p, votes, majority)
+    print(
+        f"\nmajority quorum ({majority} of {args.n}) availability: "
+        f"{quorum:.5f} for reads and writes alike"
+    )
+    choice = best_quorums(args.p, votes, args.write_fraction)
+    print(
+        f"best quorums for write fraction {args.write_fraction}: "
+        f"r={choice.read_quorum}, w={choice.write_quorum} "
+        f"(availability {choice.mixed_availability:.5f})"
+    )
+    return 0
+
+
+def cmd_describe(args) -> int:
+    from repro.workloads.stats import describe as describe_schedule
+
+    if args.trace:
+        schedule = trace.load(args.trace)
+    elif args.schedule:
+        schedule = Schedule.parse(args.schedule)
+    else:
+        print("describe: provide --schedule or --trace", file=sys.stderr)
+        return 2
+    print(describe_schedule(schedule))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    if args.tariff:
+        advice = advise_mobile(
+            MobileTariff(
+                per_message_fee=args.per_message_fee,
+                per_kilobyte_fee=args.per_kilobyte_fee,
+                control_bytes=args.control_bytes,
+                object_bytes=args.object_bytes,
+            )
+        )
+    else:
+        advice = advise_stationary(
+            StationaryHardware(
+                control_bytes=args.control_bytes,
+                object_bytes=args.object_bytes,
+                bandwidth_bytes_per_ms=args.bandwidth,
+                one_way_latency_ms=args.latency,
+                io_service_ms=args.io_ms,
+            )
+        )
+    print(
+        format_mapping(
+            {
+                "calibrated model": str(advice.model),
+                "c_c": advice.model.c_c,
+                "c_d": advice.model.c_d,
+                "Figure 1/2 region": advice.region.value,
+            },
+            title="Calibration",
+        )
+    )
+    print(f"\nrecommendation: {advice.recommendation}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Huang & Wolfson (ICDE 1994) object allocation toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    bounds = subparsers.add_parser("bounds", help="theorem bounds at a point")
+    _add_model_arguments(bounds)
+    bounds.set_defaults(handler=cmd_bounds)
+
+    compare = subparsers.add_parser("compare", help="algorithms vs OPT")
+    _add_model_arguments(compare)
+    compare.add_argument("--schedule", help='e.g. "r5 r5 w1 r5"')
+    compare.add_argument("--trace", help="trace file (see `repro workload`)")
+    compare.add_argument(
+        "--scheme", type=_scheme, default=frozenset({1, 2}),
+        help="initial allocation scheme, e.g. 1,2",
+    )
+    compare.add_argument(
+        "--algorithms", default="SA,DA",
+        help=f"comma list from {','.join(ALGORITHM_NAMES)}",
+    )
+    compare.set_defaults(handler=cmd_compare)
+
+    regions = subparsers.add_parser("regions", help="Figure 1/2 region maps")
+    regions.add_argument("--mobile", action="store_true")
+    regions.add_argument("--steps", type=int, default=9)
+    regions.add_argument(
+        "--empirical", action="store_true",
+        help="measure winners instead of quoting the bounds",
+    )
+    regions.set_defaults(handler=cmd_regions)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="discrete-event protocol run"
+    )
+    _add_model_arguments(simulate)
+    simulate.add_argument("--schedule", default="r5 r5 w1 r5")
+    simulate.add_argument("--trace")
+    simulate.add_argument("--scheme", type=_scheme, default=frozenset({1, 2}))
+    simulate.add_argument(
+        "--protocol", choices=["SA", "DA", "sa", "da"], default="DA"
+    )
+    simulate.set_defaults(handler=cmd_simulate)
+
+    workload = subparsers.add_parser("workload", help="generate a trace")
+    workload.add_argument(
+        "--kind", choices=["uniform", "zipf", "markov", "mobile"],
+        default="uniform",
+    )
+    workload.add_argument("--processors", type=int, default=8)
+    workload.add_argument("--length", type=int, default=100)
+    workload.add_argument("--write-fraction", type=float, default=0.2)
+    workload.add_argument("--skew", type=float, default=1.0,
+                          help="zipf exponent")
+    workload.add_argument("--stickiness", type=float, default=0.95)
+    workload.add_argument("--locality", type=float, default=0.8)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--out", help="write the trace to a file")
+    workload.set_defaults(handler=cmd_workload)
+
+    expected = subparsers.add_parser(
+        "expected", help="expected costs under the i.i.d. workload"
+    )
+    _add_model_arguments(expected)
+    expected.add_argument("--n", type=int, default=8,
+                          help="number of processors")
+    expected.add_argument("--t", type=int, default=2,
+                          help="availability threshold")
+    expected.set_defaults(handler=cmd_expected)
+
+    availability = subparsers.add_parser(
+        "availability", help="ROWA vs quorum availability"
+    )
+    availability.add_argument("--p", type=float, default=0.9,
+                              help="per-node up probability")
+    availability.add_argument("--n", type=int, default=5,
+                              help="number of processors")
+    availability.add_argument("--write-fraction", type=float, default=0.2)
+    availability.set_defaults(handler=cmd_availability)
+
+    describe = subparsers.add_parser(
+        "describe", help="structural statistics of a schedule"
+    )
+    describe.add_argument("--schedule", help='e.g. "r5 r5 w1 r5"')
+    describe.add_argument("--trace", help="trace file")
+    describe.set_defaults(handler=cmd_describe)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="hardware numbers -> (c_c, c_d) + a verdict"
+    )
+    calibrate.add_argument("--tariff", action="store_true",
+                           help="wireless billing (mobile model)")
+    calibrate.add_argument("--control-bytes", type=float, default=64.0)
+    calibrate.add_argument("--object-bytes", type=float, default=8192.0)
+    calibrate.add_argument("--bandwidth", type=float, default=12_500.0,
+                           help="bytes per millisecond (wired)")
+    calibrate.add_argument("--latency", type=float, default=0.5,
+                           help="one-way latency in ms (wired)")
+    calibrate.add_argument("--io-ms", type=float, default=8.0,
+                           help="disk service time in ms (wired)")
+    calibrate.add_argument("--per-message-fee", type=float, default=0.05)
+    calibrate.add_argument("--per-kilobyte-fee", type=float, default=0.01)
+    calibrate.set_defaults(handler=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

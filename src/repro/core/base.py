@@ -1,0 +1,179 @@
+"""Distributed object management (DOM) algorithms: the online interface.
+
+Paper §3.4: a DOM algorithm maps a schedule and an initial allocation
+scheme to a corresponding *legal* allocation schedule.  An **online**
+DOM algorithm does so through a sequence of *online steps*: each step
+receives the next request, associates an execution set with it (and,
+for reads, possibly turns it into a saving-read), and appends it to the
+allocation schedule produced so far — without knowledge of future
+requests.
+
+:class:`OnlineDOM` is the abstract base class.  Concrete algorithms
+(:class:`~repro.core.static_allocation.StaticAllocation`,
+:class:`~repro.core.dynamic_allocation.DynamicAllocation`, and the
+baselines) implement :meth:`OnlineDOM.decide`; the base class maintains
+the current allocation scheme, validates each step's legality, and
+enforces the ``t``-available constraint.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional
+
+from repro.exceptions import (
+    AvailabilityViolationError,
+    ConfigurationError,
+    IllegalScheduleError,
+)
+from repro.model.allocation import AllocationSchedule
+from repro.model.costs import next_scheme
+from repro.model.request import ExecutedRequest, Request
+from repro.model.schedule import Schedule
+from repro.types import ProcessorSet, processor_set
+
+
+class OnlineDOM(abc.ABC):
+    """An online, ``t``-available constrained DOM algorithm.
+
+    Parameters
+    ----------
+    initial_scheme:
+        The set of processors holding the object before the schedule
+        begins.  Following paper §4, the algorithm is ``t``-available
+        constrained with ``t = len(initial_scheme)`` unless an explicit
+        ``threshold`` is given.
+    threshold:
+        The availability threshold ``t`` (paper §2: "the allocation
+        scheme must be of size which is at least t", with ``t >= 2``).
+    """
+
+    #: Short machine-readable identifier, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        initial_scheme: Iterable[int],
+        threshold: Optional[int] = None,
+    ) -> None:
+        scheme = processor_set(initial_scheme)
+        if threshold is None:
+            threshold = len(scheme)
+        if threshold < 2:
+            raise ConfigurationError(
+                f"the availability threshold t must be at least 2, got {threshold}"
+            )
+        if len(scheme) < threshold:
+            raise ConfigurationError(
+                f"initial scheme {sorted(scheme)} is smaller than t={threshold}"
+            )
+        self._initial_scheme: ProcessorSet = scheme
+        self._threshold = threshold
+        self._scheme: ProcessorSet = scheme
+        self._steps: list[ExecutedRequest] = []
+
+    # -- read-only state ---------------------------------------------------
+
+    @property
+    def initial_scheme(self) -> ProcessorSet:
+        return self._initial_scheme
+
+    @property
+    def threshold(self) -> int:
+        """The availability threshold ``t``."""
+        return self._threshold
+
+    @property
+    def current_scheme(self) -> ProcessorSet:
+        """The allocation scheme after the steps executed so far."""
+        return self._scheme
+
+    @property
+    def steps_taken(self) -> int:
+        return len(self._steps)
+
+    # -- the online protocol ----------------------------------------------
+
+    @abc.abstractmethod
+    def decide(self, request: Request) -> ExecutedRequest:
+        """Map ``request`` to an executed request (the *online step*).
+
+        Implementations may consult :attr:`current_scheme` and any
+        internal state accumulated from earlier steps, but never future
+        requests.  They must not mutate algorithm state here; state
+        transitions driven by the chosen execution happen in
+        :meth:`observe`.
+        """
+
+    def observe(self, executed: ExecutedRequest) -> None:
+        """Hook called after a step is validated and committed.
+
+        Subclasses that keep state beyond the allocation scheme (e.g.
+        join-lists, statistics windows) update it here.
+        """
+
+    def online_step(self, request: Request) -> ExecutedRequest:
+        """Run one online step: decide, validate, commit, return."""
+        executed = self.decide(request)
+        if executed.request != request:
+            raise IllegalScheduleError(
+                f"{self.name} answered {executed.request} to request {request}"
+            )
+        if executed.is_read and not (executed.execution_set & self._scheme):
+            raise IllegalScheduleError(
+                f"{self.name} produced an illegal read: execution set "
+                f"{sorted(executed.execution_set)} misses the scheme "
+                f"{sorted(self._scheme)}"
+            )
+        new_scheme = next_scheme(executed, self._scheme)
+        if len(new_scheme) < self._threshold:
+            raise AvailabilityViolationError(
+                f"{self.name} would shrink the scheme to "
+                f"{sorted(new_scheme)} (< t={self._threshold})"
+            )
+        self._steps.append(executed)
+        self._scheme = new_scheme
+        self.observe(executed)
+        return executed
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the algorithm to its initial state."""
+        self._scheme = self._initial_scheme
+        self._steps = []
+        self._reset_extra_state()
+
+    def _reset_extra_state(self) -> None:
+        """Overridden by subclasses with extra state (join-lists etc.)."""
+
+    # -- batch execution ------------------------------------------------------
+
+    def run(self, schedule: Schedule) -> AllocationSchedule:
+        """Produce the algorithm's allocated schedule ``las_A(psi)``.
+
+        Resets the algorithm, feeds every request of ``schedule``
+        through :meth:`online_step`, and returns the resulting legal
+        allocation schedule.
+        """
+        self.reset()
+        for request in schedule:
+            self.online_step(request)
+        return self.allocation_schedule()
+
+    def allocation_schedule(self) -> AllocationSchedule:
+        """The allocation schedule produced by the steps so far."""
+        return AllocationSchedule(self._initial_scheme, tuple(self._steps))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} t={self._threshold} "
+            f"scheme={sorted(self._scheme)}>"
+        )
+
+
+def run_algorithm(
+    algorithm: OnlineDOM, schedule: Schedule
+) -> AllocationSchedule:
+    """Functional wrapper around :meth:`OnlineDOM.run`."""
+    return algorithm.run(schedule)

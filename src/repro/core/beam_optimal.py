@@ -1,0 +1,232 @@
+"""Beam-search bound on the offline optimum for large instances.
+
+The exact DP of :mod:`repro.core.offline_optimal` keeps *every*
+reachable allocation scheme — exponential in the processor count.  For
+instances beyond its limit, this module keeps only the ``beam_width``
+cheapest schemes after each request.  Restricting the state space can
+only discard optimal continuations, so the result is a **sound upper
+bound** on OPT's cost, produced together with the witness allocation
+schedule that achieves it (a real, legal, t-available schedule — i.e.
+also a concrete offline strategy).
+
+Two restrictions keep each step near-linear: the beam itself, and a
+*structured* write-target set (keep the scheme, join the writer, shrink
+to the writer plus fillers, or replicate everywhere on tiny universes)
+instead of all ``2^n`` execution sets — shapes that contain the
+homogeneous optimum's moves on typical schedules, but not provably
+always, which is exactly why the result is only an upper bound.
+
+Combined with the linear-time lower bound of
+:mod:`repro.core.offline_bounds`, large instances get a two-sided
+sandwich::
+
+    optimal_cost_lower_bound(...)  <=  OPT  <=  BeamOptimal(...).cost
+
+and the harness can report ratio *intervals* instead of single points
+when exactness is out of reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.offline_bounds import optimal_cost_lower_bound
+from repro.core.offline_optimal import OptimalResult
+from repro.exceptions import ConfigurationError
+from repro.model.allocation import AllocationSchedule
+from repro.model.cost_model import CostModel
+from repro.model.request import ExecutedRequest
+from repro.model.schedule import Schedule
+from repro.types import ProcessorSet, processor_set
+
+
+@dataclass(frozen=True)
+class OptimalSandwich:
+    """Two-sided bounds on OPT for one instance."""
+
+    lower: float
+    upper: float
+    witness: AllocationSchedule
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        return self.lower - slack <= value <= self.upper + slack
+
+
+class BeamOptimal:
+    """Beam-limited offline DP: an upper bound on OPT with a witness."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        threshold: int = 2,
+        beam_width: int = 64,
+        max_processors: int = 24,
+    ) -> None:
+        if threshold < 2:
+            raise ConfigurationError("t must be at least 2")
+        if beam_width < 1:
+            raise ConfigurationError("beam width must be positive")
+        self.cost_model = cost_model
+        self.threshold = threshold
+        self.beam_width = beam_width
+        self.max_processors = max_processors
+
+    def solve(
+        self, schedule: Schedule, initial_scheme: Iterable[int]
+    ) -> OptimalResult:
+        initial = processor_set(initial_scheme)
+        if len(initial) < self.threshold:
+            raise ConfigurationError("initial scheme smaller than t")
+        universe = sorted(initial | schedule.processors)
+        if len(universe) > self.max_processors:
+            raise ConfigurationError(
+                f"universe of {len(universe)} processors exceeds "
+                f"{self.max_processors}"
+            )
+        index = {proc: i for i, proc in enumerate(universe)}
+        n = len(universe)
+        t = self.threshold
+        c_io, c_c, c_d = (
+            self.cost_model.c_io,
+            self.cost_model.c_c,
+            self.cost_model.c_d,
+        )
+
+        def set_of(mask: int) -> ProcessorSet:
+            return frozenset(universe[i] for i in range(n) if mask >> i & 1)
+
+        initial_mask = 0
+        for member in initial:
+            initial_mask |= 1 << index[member]
+
+        dp: Dict[int, float] = {initial_mask: 0.0}
+        parents: List[Dict[int, tuple[int, ExecutedRequest]]] = []
+
+        for request in schedule:
+            new_dp: Dict[int, float] = {}
+            step_parents: Dict[int, tuple[int, ExecutedRequest]] = {}
+            bit = 1 << index[request.processor]
+            if request.is_read:
+                for mask, cost in dp.items():
+                    if mask & bit:
+                        executed = ExecutedRequest(
+                            request, frozenset({request.processor})
+                        )
+                        self._relax(
+                            new_dp, step_parents, mask,
+                            cost + c_io, mask, executed,
+                        )
+                    else:
+                        server = min(set_of(mask))
+                        fetch = c_c + c_io + c_d
+                        executed = ExecutedRequest(request, frozenset({server}))
+                        self._relax(
+                            new_dp, step_parents, mask,
+                            cost + fetch, mask, executed,
+                        )
+                        saving = ExecutedRequest(
+                            request, frozenset({server}), saving=True
+                        )
+                        self._relax(
+                            new_dp, step_parents, mask | bit,
+                            cost + fetch + c_io, mask, saving,
+                        )
+            else:
+                # Beam write transitions: instead of all 2^n targets,
+                # consider structured candidates — keep / shrink-to-best
+                # around the writer — which contain the homogeneous
+                # optimum's shapes.
+                for mask, cost in dp.items():
+                    for target in self._write_targets(mask, bit, n, t):
+                        stale = mask & ~target
+                        if target & bit:
+                            step = (
+                                stale.bit_count() * c_c
+                                + (target.bit_count() - 1) * c_d
+                                + target.bit_count() * c_io
+                            )
+                        else:
+                            step = (
+                                (stale & ~bit).bit_count() * c_c
+                                + target.bit_count() * (c_d + c_io)
+                            )
+                        self._relax(
+                            new_dp, step_parents, target, cost + step, mask,
+                            ExecutedRequest(request, set_of(target)),
+                        )
+            dp = self._prune(new_dp)
+            step_parents = {
+                state: parent
+                for state, parent in step_parents.items()
+                if state in dp
+            }
+            parents.append(step_parents)
+
+        best_mask = min(dp, key=lambda mask: (dp[mask], mask))
+        steps: List[ExecutedRequest] = []
+        mask = best_mask
+        for step_parents in reversed(parents):
+            prev, executed = step_parents[mask]
+            steps.append(executed)
+            mask = prev
+        steps.reverse()
+        allocation = AllocationSchedule(initial, tuple(steps))
+        return OptimalResult(dp[best_mask], allocation)
+
+    def _write_targets(self, mask: int, writer_bit: int, n: int, t: int):
+        """Candidate execution sets for a write from scheme ``mask``.
+
+        Structured shapes covering the homogeneous optimum's moves:
+        keep the scheme (±writer), shrink to the writer plus the
+        lowest-bit fillers, or the full universe when small.
+        """
+        full = (1 << n) - 1
+        candidates = set()
+
+        def pad(base: int) -> int:
+            padded = base
+            position = 0
+            while padded.bit_count() < t and position < n:
+                padded |= 1 << position
+                position += 1
+            return padded
+
+        candidates.add(pad(mask | writer_bit))          # join the scheme
+        candidates.add(pad(writer_bit))                  # shrink to writer
+        candidates.add(pad(mask))                        # keep as-is
+        if n <= 6:
+            candidates.add(full)                         # replicate everywhere
+        return [
+            candidate for candidate in candidates
+            if candidate.bit_count() >= t
+        ]
+
+    def _prune(self, dp: Dict[int, float]) -> Dict[int, float]:
+        if len(dp) <= self.beam_width:
+            return dp
+        kept = sorted(dp.items(), key=lambda item: (item[1], item[0]))
+        return dict(kept[: self.beam_width])
+
+    @staticmethod
+    def _relax(new_dp, step_parents, state, cost, prev_state, executed):
+        bound = new_dp.get(state)
+        if bound is None or cost < bound:
+            new_dp[state] = cost
+            step_parents[state] = (prev_state, executed)
+
+
+def optimal_sandwich(
+    schedule: Schedule,
+    initial_scheme: Iterable[int],
+    cost_model: CostModel,
+    threshold: int = 2,
+    beam_width: int = 64,
+) -> OptimalSandwich:
+    """Two-sided OPT bounds for instances of any size."""
+    beam = BeamOptimal(cost_model, threshold, beam_width)
+    result = beam.solve(schedule, initial_scheme)
+    lower = optimal_cost_lower_bound(
+        schedule, initial_scheme, cost_model, threshold
+    )
+    return OptimalSandwich(lower, result.cost, result.allocation)

@@ -1,0 +1,112 @@
+"""A convergent (adaptive) allocation baseline.
+
+Paper §5.1 distinguishes *competitive* online algorithms (worst-case
+guarantees, appropriate for chaotic access patterns) from *convergent*
+ones (Wolfson & Jajodia [27, 28]) that move toward the optimal static
+allocation scheme for the recent read-write pattern, and notes that a
+convergent algorithm "may unboundedly diverge from the optimum when the
+read-write pattern is irregular".
+
+This module implements such a convergent baseline so the benchmark
+harness can reproduce that qualitative comparison.  The algorithm keeps
+a sliding window of the last ``window`` requests.  At every write —
+the only moment the model lets the allocation scheme shrink or move —
+it recomputes the scheme that minimizes the *expected* per-request cost
+of the window's read/write mix:
+
+* a processor with ``r_i`` window reads and the window holding ``w``
+  writes should hold a replica iff the saved read cost
+  ``r_i · (c_c + c_d)`` exceeds the replication cost it adds to every
+  write, ``w · (c_d + c_io)`` (plus an invalidation it may force);
+* the scheme is padded to size ``t`` with the heaviest readers.
+
+Between writes, foreign reads are served on demand and **not** saved —
+that is what makes the algorithm converge to (rather than chase) the
+window's optimum, and what makes it diverge on adversarial patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterable, Optional
+
+from repro.core.base import OnlineDOM
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+from repro.model.request import ExecutedRequest, Request
+from repro.types import ProcessorId
+
+
+class ConvergentAllocation(OnlineDOM):
+    """Sliding-window adaptive replication (convergent baseline)."""
+
+    name = "CONV"
+
+    def __init__(
+        self,
+        initial_scheme: Iterable[ProcessorId],
+        cost_model: CostModel,
+        window: int = 32,
+        threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(initial_scheme, threshold)
+        if window < 1:
+            raise ConfigurationError(f"window must be positive, got {window}")
+        self.cost_model = cost_model
+        self.window = window
+        self._history: Deque[Request] = deque(maxlen=window)
+
+    # -- window statistics ---------------------------------------------------
+
+    def _window_reads(self) -> Counter:
+        reads: Counter = Counter()
+        for request in self._history:
+            if request.is_read:
+                reads[request.processor] += 1
+        return reads
+
+    def _window_writes(self) -> int:
+        return sum(1 for request in self._history if request.is_write)
+
+    def _target_scheme(self, writer: ProcessorId) -> frozenset:
+        """The scheme the window statistics recommend, always including
+        the writer's fresh copy and at least ``t`` members."""
+        reads = self._window_reads()
+        writes = max(1, self._window_writes())
+        c = self.cost_model
+        replica_benefit = c.c_c + c.c_d  # saved per local read
+        replica_cost = c.c_d + c.c_io + c.c_c  # added per write (+invalidate)
+        members = {
+            processor
+            for processor, count in reads.items()
+            if count * replica_benefit > writes * replica_cost
+        }
+        members.add(writer)
+        if len(members) < self.threshold:
+            # Pad with the heaviest readers, then with current members.
+            by_weight = [p for p, _ in reads.most_common() if p not in members]
+            for processor in by_weight:
+                if len(members) >= self.threshold:
+                    break
+                members.add(processor)
+            for processor in sorted(self.current_scheme):
+                if len(members) >= self.threshold:
+                    break
+                members.add(processor)
+        return frozenset(members)
+
+    # -- the online step --------------------------------------------------------
+
+    def decide(self, request: Request) -> ExecutedRequest:
+        if request.is_read:
+            if request.processor in self.current_scheme:
+                return ExecutedRequest(request, frozenset({request.processor}))
+            server = min(self.current_scheme)
+            return ExecutedRequest(request, frozenset({server}))
+        return ExecutedRequest(request, self._target_scheme(request.processor))
+
+    def observe(self, executed: ExecutedRequest) -> None:
+        self._history.append(executed.request)
+
+    def _reset_extra_state(self) -> None:
+        self._history = deque(maxlen=self.window)

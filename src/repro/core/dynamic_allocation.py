@@ -1,0 +1,122 @@
+"""The Dynamic Allocation (DA) algorithm of the paper.
+
+Paper §2 / §4.2.2.  DA selects a priori a set ``F`` of ``t - 1``
+processors and a processor ``p`` outside ``F``; the initial allocation
+scheme is ``F ∪ {p}``.  At any point in time the processors of ``F``
+hold the latest version of the object.
+
+* A read by a *data processor* (a member of the current allocation
+  scheme) executes locally.
+* A read by a non-data processor ``q`` is served by a member ``u`` of
+  ``F`` and is turned into a **saving-read**: ``q`` stores the object
+  in its local database and joins the allocation scheme, and ``u``
+  records ``q`` in its *join-list*.
+* A write by ``j ∈ F ∪ {p}`` has execution set ``F ∪ {p}``; a write by
+  any other ``j`` has execution set ``F ∪ {j}``.  Either way the write
+  invalidates every other copy (the scheme collapses to the execution
+  set); the invalidate control messages travel along the join-lists.
+
+Theorems 2-4: DA is ``(2 + 2 c_c)``-competitive in the stationary
+model, ``(2 + c_c)``-competitive when ``c_d > 1``, and
+``(2 + 3 c_c / c_d)``-competitive in the mobile model — in which SA is
+not competitive at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.base import OnlineDOM
+from repro.exceptions import ConfigurationError
+from repro.model.request import ExecutedRequest, Request
+from repro.types import ProcessorId, ProcessorSet, processor_set
+
+
+class DynamicAllocation(OnlineDOM):
+    """Save-on-read / invalidate-on-write dynamic replication.
+
+    Parameters
+    ----------
+    initial_scheme:
+        The initial allocation scheme ``F ∪ {p}`` (size ``t``).
+    primary:
+        The distinguished processor ``p``.  Defaults to the largest id
+        in the initial scheme; every other member forms ``F``.  In a
+        mobile-computing deployment ``F`` is naturally the base-station
+        processor and ``p`` a mobile host (paper §2).
+    """
+
+    name = "DA"
+
+    def __init__(
+        self,
+        initial_scheme: Iterable[ProcessorId],
+        primary: Optional[ProcessorId] = None,
+        threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(initial_scheme, threshold)
+        scheme = self.initial_scheme
+        if primary is None:
+            primary = max(scheme)
+        if primary not in scheme:
+            raise ConfigurationError(
+                f"primary processor {primary} is not in the initial "
+                f"scheme {sorted(scheme)}"
+            )
+        self._primary: ProcessorId = primary
+        self._core: ProcessorSet = scheme - {primary}
+        if not self._core:
+            raise ConfigurationError(
+                "F would be empty; the initial scheme must have at least "
+                "two processors (t >= 2)"
+            )
+        self._server: ProcessorId = min(self._core)
+        self._join_lists: dict[ProcessorId, set[ProcessorId]] = {
+            member: set() for member in self._core
+        }
+
+    # -- structural accessors -------------------------------------------------
+
+    @property
+    def core(self) -> ProcessorSet:
+        """The permanent replica set ``F`` (size ``t - 1``)."""
+        return self._core
+
+    @property
+    def primary(self) -> ProcessorId:
+        """The distinguished processor ``p``."""
+        return self._primary
+
+    def join_list(self, member: ProcessorId) -> ProcessorSet:
+        """The join-list of a member of ``F``."""
+        if member not in self._core:
+            raise ConfigurationError(f"{member} is not a member of F")
+        return processor_set(self._join_lists[member])
+
+    # -- the online step ------------------------------------------------------
+
+    def decide(self, request: Request) -> ExecutedRequest:
+        if request.is_read:
+            if request.processor in self.current_scheme:
+                return ExecutedRequest(request, frozenset({request.processor}))
+            return ExecutedRequest(
+                request, frozenset({self._server}), saving=True
+            )
+        if request.processor in self._core | {self._primary}:
+            execution_set = self._core | {self._primary}
+        else:
+            execution_set = self._core | {request.processor}
+        return ExecutedRequest(request, execution_set)
+
+    def observe(self, executed: ExecutedRequest) -> None:
+        if executed.is_saving_read:
+            # The serving core member (the execution set is a singleton
+            # inside F) records the joiner on its join-list.
+            (server,) = executed.execution_set
+            self._join_lists[server].add(executed.processor)
+        elif executed.is_write:
+            for join_list in self._join_lists.values():
+                join_list.clear()
+
+    def _reset_extra_state(self) -> None:
+        self._join_lists = {member: set() for member in self._core}

@@ -1,0 +1,74 @@
+"""Algorithm registry: build DOM algorithms by name.
+
+The benchmark harness and the examples refer to algorithms by short
+names (``"SA"``, ``"DA"``, ``"CDDR"``, ``"CONV"``, ``"CACHE"``); this
+module centralizes construction so parameter conventions stay in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.base import OnlineDOM
+from repro.core.caching import WriteInvalidationCaching
+from repro.core.cddr import SkiRentalReplication
+from repro.core.convergent import ConvergentAllocation
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+from repro.types import ProcessorId
+
+AlgorithmFactory = Callable[[], OnlineDOM]
+
+
+def make_algorithm(
+    name: str,
+    initial_scheme: Iterable[ProcessorId],
+    cost_model: Optional[CostModel] = None,
+    **options,
+) -> OnlineDOM:
+    """Construct a DOM algorithm by its short name.
+
+    ``cost_model`` is required only by algorithms whose policy consults
+    prices (currently the convergent baseline).
+    """
+    key = name.strip().upper()
+    scheme = frozenset(initial_scheme)
+    if key == "SA":
+        return StaticAllocation(scheme, **options)
+    if key == "DA":
+        return DynamicAllocation(scheme, **options)
+    if key == "CDDR":
+        return SkiRentalReplication(scheme, **options)
+    if key == "CACHE":
+        return WriteInvalidationCaching(scheme, **options)
+    if key == "CONV":
+        if cost_model is None:
+            raise ConfigurationError(
+                "the convergent baseline needs a cost model"
+            )
+        return ConvergentAllocation(scheme, cost_model, **options)
+    raise ConfigurationError(
+        f"unknown algorithm {name!r}; known: SA, DA, CDDR, CACHE, CONV"
+    )
+
+
+def algorithm_factory(
+    name: str,
+    initial_scheme: Iterable[ProcessorId],
+    cost_model: Optional[CostModel] = None,
+    **options,
+) -> AlgorithmFactory:
+    """A zero-argument factory producing fresh instances (the
+    competitiveness harness builds one instance per schedule)."""
+    scheme = frozenset(initial_scheme)
+
+    def build() -> OnlineDOM:
+        return make_algorithm(name, scheme, cost_model, **options)
+
+    return build
+
+
+ALGORITHM_NAMES: tuple[str, ...] = ("SA", "DA", "CDDR", "CACHE", "CONV")

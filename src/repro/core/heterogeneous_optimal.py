@@ -1,0 +1,188 @@
+"""Exact offline optimum under heterogeneous prices.
+
+The same dynamic program as :mod:`repro.core.offline_optimal`, with the
+per-pair/per-node prices of
+:class:`~repro.model.heterogeneous.HeterogeneousCostModel`:
+
+* a foreign read fetches from the *cheapest* scheme member (per-reader,
+  per-server prices make the choice real);
+* write transitions price each execution set member and each
+  invalidated node individually, using per-writer prefix tables over
+  bitmasks so a transition still costs ``O(1)`` after ``O(n 2^n)``
+  precomputation per writer.
+
+Under constant prices the result equals the homogeneous solver's
+(tested), so this is a strict generalization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.offline_optimal import OptimalResult
+from repro.exceptions import ConfigurationError
+from repro.model.allocation import AllocationSchedule
+from repro.model.heterogeneous import HeterogeneousCostModel
+from repro.model.request import ExecutedRequest
+from repro.model.schedule import Schedule
+from repro.types import ProcessorSet, processor_set
+
+
+class HeterogeneousOfflineOptimal:
+    """Minimum-cost offline DOM under per-link / per-node prices."""
+
+    def __init__(
+        self,
+        costs: HeterogeneousCostModel,
+        threshold: int = 2,
+        max_processors: int = 10,
+    ) -> None:
+        if threshold < 2:
+            raise ConfigurationError("t must be at least 2")
+        self.costs = costs
+        self.threshold = threshold
+        self.max_processors = max_processors
+
+    def solve(
+        self, schedule: Schedule, initial_scheme: Iterable[int]
+    ) -> OptimalResult:
+        initial = processor_set(initial_scheme)
+        if len(initial) < self.threshold:
+            raise ConfigurationError("initial scheme smaller than t")
+        universe = sorted(initial | schedule.processors)
+        n = len(universe)
+        if n > self.max_processors:
+            raise ConfigurationError(
+                f"universe of {n} processors exceeds the limit "
+                f"{self.max_processors}"
+            )
+        index = {proc: i for i, proc in enumerate(universe)}
+        t = self.threshold
+        costs = self.costs
+
+        def set_of(mask: int) -> ProcessorSet:
+            return frozenset(
+                universe[i] for i in range(n) if mask >> i & 1
+            )
+
+        targets = [m for m in range(1 << n) if m.bit_count() >= t]
+        io_sum = self._mask_sums([costs.io(p) for p in universe], n)
+
+        dp: Dict[int, float] = {
+            sum(1 << index[p] for p in initial): 0.0
+        }
+        parents: List[Dict[int, tuple[int, ExecutedRequest]]] = []
+
+        for request in schedule:
+            new_dp: Dict[int, float] = {}
+            step_parents: Dict[int, tuple[int, ExecutedRequest]] = {}
+            if request.is_read:
+                self._reads(
+                    request, dp, new_dp, step_parents, universe, index
+                )
+            else:
+                self._writes(
+                    request, dp, new_dp, step_parents,
+                    universe, index, targets, io_sum, set_of,
+                )
+            dp = new_dp
+            parents.append(step_parents)
+
+        best_mask = min(dp, key=lambda mask: (dp[mask], mask))
+        steps: List[ExecutedRequest] = []
+        mask = best_mask
+        for step_parents in reversed(parents):
+            prev, executed = step_parents[mask]
+            steps.append(executed)
+            mask = prev
+        steps.reverse()
+        allocation = AllocationSchedule(initial, tuple(steps))
+        return OptimalResult(dp[best_mask], allocation)
+
+    def optimal_cost(
+        self, schedule: Schedule, initial_scheme: Iterable[int]
+    ) -> float:
+        return self.solve(schedule, initial_scheme).cost
+
+    # -- transitions -----------------------------------------------------------
+
+    @staticmethod
+    def _mask_sums(values: List[float], n: int) -> List[float]:
+        """sums[mask] = sum of values over the set bits of mask."""
+        sums = [0.0] * (1 << n)
+        for mask in range(1, 1 << n):
+            low = mask & -mask
+            sums[mask] = sums[mask ^ low] + values[low.bit_length() - 1]
+        return sums
+
+    def _reads(self, request, dp, new_dp, step_parents, universe, index):
+        costs = self.costs
+        reader = request.processor
+        reader_bit = 1 << index[reader]
+        relax = self._relax
+        for mask, cost in dp.items():
+            if mask & reader_bit:
+                executed = ExecutedRequest(request, frozenset({reader}))
+                relax(
+                    new_dp, step_parents, mask,
+                    cost + costs.io(reader), mask, executed,
+                )
+                continue
+            members = [
+                universe[i] for i in range(len(universe)) if mask >> i & 1
+            ]
+            server = costs.nearest_server(reader, members)
+            fetch = costs.fetch_cost(reader, server)
+            executed = ExecutedRequest(request, frozenset({server}))
+            relax(new_dp, step_parents, mask, cost + fetch, mask, executed)
+            saving = ExecutedRequest(request, frozenset({server}), saving=True)
+            relax(
+                new_dp, step_parents, mask | reader_bit,
+                cost + fetch + costs.io(reader), mask, saving,
+            )
+
+    def _writes(
+        self, request, dp, new_dp, step_parents,
+        universe, index, targets, io_sum, set_of,
+    ):
+        costs = self.costs
+        writer = request.processor
+        writer_bit = 1 << index[writer]
+        n = len(universe)
+        data_from_writer = self._mask_sums(
+            [
+                0.0 if p == writer else costs.data(writer, p)
+                for p in universe
+            ],
+            n,
+        )
+        control_from_writer = self._mask_sums(
+            [
+                0.0 if p == writer else costs.control(writer, p)
+                for p in universe
+            ],
+            n,
+        )
+        relax = self._relax
+        for mask, cost in dp.items():
+            for target in targets:
+                stale = mask & ~target & ~writer_bit
+                step_cost = (
+                    io_sum[target]
+                    + data_from_writer[target]
+                    + control_from_writer[stale]
+                )
+                candidate = cost + step_cost
+                bound = new_dp.get(target)
+                if bound is None or candidate < bound:
+                    executed = ExecutedRequest(request, set_of(target))
+                    relax(
+                        new_dp, step_parents, target, candidate, mask, executed
+                    )
+
+    @staticmethod
+    def _relax(new_dp, step_parents, state, cost, prev_state, executed):
+        bound = new_dp.get(state)
+        if bound is None or cost < bound:
+            new_dp[state] = cost
+            step_parents[state] = (prev_state, executed)

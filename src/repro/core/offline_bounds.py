@@ -1,0 +1,89 @@
+"""Sound lower bounds on the offline-optimal cost for large instances.
+
+The exact DP of :mod:`repro.core.offline_optimal` is exponential in the
+number of processors.  For larger instances the competitiveness
+harness needs a *sound* (never exceeding OPT) lower bound; ratios
+computed against it are then upper bounds on the true empirical ratio.
+
+The bound charges, independently:
+
+* every read at least one I/O (``c_io``) — any legal read inputs the
+  object from at least one local database;
+* every write at least ``t·c_io + (t-1)·c_d`` — its execution set has
+  at least ``t`` members, all perform output I/O, and at least
+  ``|X| - 1`` data messages carry the object to them;
+* per *write-free segment*, the distinct readers that cannot have been
+  scheme members for free.  After a write, the scheme is exactly the
+  write's execution set, whose first ``t`` members are already paid
+  for; each additional distinct reader in the segment pays at least
+  ``min(c_c + c_d, c_d + c_io)`` extra — either an on-demand fetch
+  (request message + data message beyond the local-read I/O) or
+  membership in the preceding write's execution set (one extra data
+  message and one extra output I/O).  Before the first write, readers
+  outside the initial scheme must fetch, paying at least
+  ``c_c + c_d`` extra.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId, processor_set
+
+
+def optimal_cost_lower_bound(
+    schedule: Schedule,
+    initial_scheme: Iterable[ProcessorId],
+    cost_model: CostModel,
+    threshold: int = 2,
+) -> float:
+    """A lower bound on ``COST_OPT(I, psi)`` computable in linear time."""
+    if threshold < 2:
+        raise ConfigurationError(
+            f"the availability threshold t must be at least 2, got {threshold}"
+        )
+    initial = processor_set(initial_scheme)
+    c_io, c_c, c_d = cost_model.c_io, cost_model.c_c, cost_model.c_d
+
+    per_write = threshold * c_io + (threshold - 1) * c_d
+    join_extra = min(c_c + c_d, c_d + c_io)
+
+    bound = 0.0
+    segment_readers: set[ProcessorId] = set()
+    first_segment = True
+    for request in schedule:
+        if request.is_read:
+            bound += c_io
+            segment_readers.add(request.processor)
+        else:
+            bound += per_write
+            bound += _segment_extra(
+                segment_readers, first_segment, initial,
+                threshold, c_c + c_d, join_extra,
+            )
+            segment_readers = set()
+            first_segment = False
+    bound += _segment_extra(
+        segment_readers, first_segment, initial,
+        threshold, c_c + c_d, join_extra,
+    )
+    return bound
+
+
+def _segment_extra(
+    readers: set[ProcessorId],
+    first_segment: bool,
+    initial,
+    threshold: int,
+    fetch_extra: float,
+    join_extra: float,
+) -> float:
+    """Extra cost forced by the distinct readers of one segment."""
+    if not readers:
+        return 0.0
+    if first_segment:
+        return len(readers - initial) * fetch_extra
+    return max(0, len(readers) - threshold) * join_extra

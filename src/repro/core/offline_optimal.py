@@ -1,0 +1,274 @@
+"""Exact offline-optimal DOM via dynamic programming.
+
+Paper §4.1 defines competitiveness against *"an offline t-available
+constrained DOM algorithm that produces the minimum cost legal
+allocation schedule for any input"*.  The paper never spells this
+algorithm out (it exists only inside the omitted proofs); we realize it
+exactly, for moderate processor counts, by dynamic programming over
+allocation schemes:
+
+* **State** — the allocation scheme (a subset of processors of size at
+  least ``t``) after a prefix of the schedule.
+* **Read transition** — a non-saving read keeps the scheme and
+  optimally uses a singleton execution set (``{i}`` if the reader is a
+  data processor, else any single data processor: enlarging the
+  execution set only adds cost under non-negative prices).  A
+  saving-read additionally stores the object at the reader (one extra
+  I/O) and moves to ``scheme ∪ {reader}``.
+* **Write transition** — the new scheme equals the write's execution
+  set, which may be *any* subset of size at least ``t``; we enumerate
+  all of them, pricing the §3.2/§3.3 write formula.
+
+Only processors that appear in the schedule or the initial scheme can
+ever be useful scheme members (membership helps only local reads and
+costs invalidations otherwise, and the cost model is homogeneous), so
+the DP universe is ``initial_scheme ∪ schedule.processors``.  The state
+space is exponential in that universe; a guard refuses universes above
+``max_processors`` (default 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.model.allocation import AllocationSchedule
+from repro.model.cost_model import CostModel
+from repro.model.request import ExecutedRequest
+from repro.model.schedule import Schedule
+from repro.types import ProcessorSet, processor_set
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Outcome of the offline DP: minimum cost and a witness schedule."""
+
+    cost: float
+    allocation: AllocationSchedule
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.allocation.schedule()
+
+
+class OfflineOptimal:
+    """Exact minimum-cost offline DOM algorithm (the paper's OPT).
+
+    Parameters
+    ----------
+    cost_model:
+        The pricing under which cost is minimized.
+    threshold:
+        The availability threshold ``t >= 2``.
+    max_processors:
+        Upper limit on the DP universe size; the state space is
+        ``O(2^n)`` and each write transition is ``O(4^n)``.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        threshold: int = 2,
+        max_processors: int = 12,
+    ) -> None:
+        if threshold < 2:
+            raise ConfigurationError(
+                f"the availability threshold t must be at least 2, got {threshold}"
+            )
+        self.cost_model = cost_model
+        self.threshold = threshold
+        self.max_processors = max_processors
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(
+        self,
+        schedule: Schedule,
+        initial_scheme: Iterable[int],
+    ) -> OptimalResult:
+        """Minimum cost and a witness legal, t-available allocation schedule."""
+        initial = processor_set(initial_scheme)
+        if len(initial) < self.threshold:
+            raise ConfigurationError(
+                f"initial scheme {sorted(initial)} is smaller than "
+                f"t={self.threshold}"
+            )
+        universe = sorted(initial | schedule.processors)
+        if len(universe) > self.max_processors:
+            raise ConfigurationError(
+                f"DP universe has {len(universe)} processors; the exact "
+                f"offline optimum is limited to {self.max_processors} "
+                "(use repro.core.offline_bounds for larger instances)"
+            )
+        return self._solve(schedule, initial, universe)
+
+    def optimal_cost(
+        self, schedule: Schedule, initial_scheme: Iterable[int]
+    ) -> float:
+        """COST_OPT(I, psi): the minimum cost only."""
+        return self.solve(schedule, initial_scheme).cost
+
+    # -- dynamic programming -------------------------------------------------------
+
+    def _solve(
+        self,
+        schedule: Schedule,
+        initial: ProcessorSet,
+        universe: list[int],
+    ) -> OptimalResult:
+        index_of = {proc: pos for pos, proc in enumerate(universe)}
+        n = len(universe)
+        t = self.threshold
+        c_io = self.cost_model.c_io
+        c_c = self.cost_model.c_c
+        c_d = self.cost_model.c_d
+
+        def mask_of(members: Iterable[int]) -> int:
+            mask = 0
+            for member in members:
+                mask |= 1 << index_of[member]
+            return mask
+
+        def set_of(mask: int) -> ProcessorSet:
+            return frozenset(
+                universe[pos] for pos in range(n) if mask >> pos & 1
+            )
+
+        initial_mask = mask_of(initial)
+        targets = [
+            mask for mask in range(1 << n) if mask.bit_count() >= t
+        ]
+        # Cost of a write execution set X, excluding the invalidation
+        # (state-coupled) term, for a writer inside / outside X.
+        base_in = {
+            mask: mask.bit_count() * c_io + (mask.bit_count() - 1) * c_d
+            for mask in targets
+        }
+        base_out = {
+            mask: mask.bit_count() * (c_io + c_d) for mask in targets
+        }
+
+        # dp maps scheme-mask -> best cost of the processed prefix;
+        # parents[step][mask] = (previous mask, executed request).
+        dp: dict[int, float] = {initial_mask: 0.0}
+        parents: list[dict[int, tuple[int, ExecutedRequest]]] = []
+
+        for request in schedule:
+            new_dp: dict[int, float] = {}
+            step_parents: dict[int, tuple[int, ExecutedRequest]] = {}
+            if request.is_read:
+                self._read_transitions(
+                    request, dp, new_dp, step_parents,
+                    index_of, set_of, c_io, c_c, c_d,
+                )
+            else:
+                self._write_transitions(
+                    request, dp, new_dp, step_parents,
+                    index_of, set_of, targets, base_in, base_out, c_c,
+                )
+            dp = new_dp
+            parents.append(step_parents)
+
+        best_mask = min(dp, key=lambda mask: (dp[mask], mask))
+        best_cost = dp[best_mask]
+        steps = self._reconstruct(parents, best_mask)
+        allocation = AllocationSchedule(initial, tuple(steps))
+        return OptimalResult(best_cost, allocation)
+
+    def _read_transitions(
+        self, request, dp, new_dp, step_parents,
+        index_of, set_of, c_io, c_c, c_d,
+    ) -> None:
+        reader = request.processor
+        reader_bit = 1 << index_of[reader]
+        for mask, cost in dp.items():
+            if mask & reader_bit:
+                executed = ExecutedRequest(request, frozenset({reader}))
+                self._relax(
+                    new_dp, step_parents, mask, cost + c_io, mask, executed
+                )
+            else:
+                server = min(set_of(mask))
+                fetch = c_c + c_io + c_d
+                executed = ExecutedRequest(request, frozenset({server}))
+                self._relax(
+                    new_dp, step_parents, mask, cost + fetch, mask, executed
+                )
+                saving = ExecutedRequest(
+                    request, frozenset({server}), saving=True
+                )
+                self._relax(
+                    new_dp,
+                    step_parents,
+                    mask | reader_bit,
+                    cost + fetch + c_io,
+                    mask,
+                    saving,
+                )
+
+    def _write_transitions(
+        self, request, dp, new_dp, step_parents,
+        index_of, set_of, targets, base_in, base_out, c_c,
+    ) -> None:
+        writer = request.processor
+        writer_bit = 1 << index_of[writer]
+        for mask, cost in dp.items():
+            for target in targets:
+                stale = mask & ~target
+                if target & writer_bit:
+                    step_cost = base_in[target] + stale.bit_count() * c_c
+                else:
+                    step_cost = (
+                        base_out[target]
+                        + (stale & ~writer_bit).bit_count() * c_c
+                    )
+                candidate = cost + step_cost
+                bound = new_dp.get(target)
+                if bound is None or candidate < bound:
+                    executed = ExecutedRequest(request, set_of(target))
+                    self._relax(
+                        new_dp, step_parents, target, candidate, mask, executed
+                    )
+
+    @staticmethod
+    def _relax(new_dp, step_parents, state, cost, prev_state, executed) -> None:
+        bound = new_dp.get(state)
+        if bound is None or cost < bound:
+            new_dp[state] = cost
+            step_parents[state] = (prev_state, executed)
+
+    @staticmethod
+    def _reconstruct(parents, final_mask) -> list[ExecutedRequest]:
+        steps: list[ExecutedRequest] = []
+        mask = final_mask
+        for step_parents in reversed(parents):
+            prev_mask, executed = step_parents[mask]
+            steps.append(executed)
+            mask = prev_mask
+        steps.reverse()
+        return steps
+
+
+def optimal_cost(
+    schedule: Schedule,
+    initial_scheme: Iterable[int],
+    cost_model: CostModel,
+    threshold: int = 2,
+    max_processors: int = 12,
+) -> float:
+    """Convenience wrapper: COST of the optimal offline DOM algorithm."""
+    solver = OfflineOptimal(cost_model, threshold, max_processors)
+    return solver.optimal_cost(schedule, initial_scheme)
+
+
+def optimal_allocation(
+    schedule: Schedule,
+    initial_scheme: Iterable[int],
+    cost_model: CostModel,
+    threshold: int = 2,
+    max_processors: int = 12,
+) -> AllocationSchedule:
+    """Convenience wrapper: a witness optimal allocation schedule."""
+    solver = OfflineOptimal(cost_model, threshold, max_processors)
+    return solver.solve(schedule, initial_scheme).allocation

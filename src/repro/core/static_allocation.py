@@ -1,0 +1,56 @@
+"""The Static Allocation (SA) algorithm: read-one-write-all.
+
+Paper §2 / §4.2.1: *"At all times, SA keeps a fixed allocation scheme
+Q, which is of size t, and SA performs read-one-write-all."*
+
+* A read by a processor in ``Q`` executes locally (execution set
+  ``{i}``).
+* A read by a processor outside ``Q`` is served by some member of ``Q``
+  (execution set is a singleton inside ``Q``); the read is **not**
+  turned into a saving-read, so the scheme never changes.
+* Every write is propagated to all of ``Q`` (execution set ``Q``).
+
+Theorem 1: SA is ``(1 + c_c + c_d)``-competitive in the stationary
+model, and this factor is tight (Proposition 1).  Proposition 3: in the
+mobile model SA is not competitive at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.base import OnlineDOM
+from repro.model.request import ExecutedRequest, Request
+from repro.types import ProcessorId
+
+
+class StaticAllocation(OnlineDOM):
+    """Read-one-write-all over a fixed allocation scheme ``Q``.
+
+    The member of ``Q`` that serves foreign reads is chosen
+    deterministically (the smallest id) so runs are reproducible; the
+    paper allows an arbitrary member and the cost model is homogeneous,
+    so the choice does not affect any cost.
+    """
+
+    name = "SA"
+
+    def __init__(
+        self,
+        initial_scheme: Iterable[ProcessorId],
+        threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(initial_scheme, threshold)
+        self._server: ProcessorId = min(self.initial_scheme)
+
+    @property
+    def scheme(self):
+        """The fixed scheme ``Q`` (alias for the initial scheme)."""
+        return self.initial_scheme
+
+    def decide(self, request: Request) -> ExecutedRequest:
+        if request.is_read:
+            if request.processor in self.initial_scheme:
+                return ExecutedRequest(request, frozenset({request.processor}))
+            return ExecutedRequest(request, frozenset({self._server}))
+        return ExecutedRequest(request, self.initial_scheme)

@@ -1,0 +1,151 @@
+"""The append-only distributed-database model of paper §6.2.
+
+Paper §6.2: the results apply verbatim to an append-only model — a set
+``S`` of stations, a sequence of objects (e.g. satellite images), each
+*generated* by some station, and stations reading the *latest* object
+at arbitrary points in time.  Every object must be stored at ``t`` or
+more processors for reliability.
+
+The translation to the base model is:
+
+* generating the next object in the sequence  ==  a write request;
+* reading the latest object                   ==  a read request;
+* SA  ==  a fixed set of ``t`` stations holding *permanent standing
+  orders* for every new object; everyone else reads on demand;
+* DA  ==  ``t - 1`` permanent standing orders; a station that needs the
+  latest version places a *temporary standing order* (the saving-read /
+  join-list mechanism), cancelled (invalidated) when the next object in
+  the sequence arrives.
+
+:class:`AppendOnlyFeed` builds a schedule from feed events and runs any
+DOM algorithm over it, tracking which station stores which sequence
+number so tests can assert the reliability property (every generated
+object is stored at ``>= t`` stations at generation time).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.base import OnlineDOM
+from repro.exceptions import ConfigurationError
+from repro.model.allocation import AllocationSchedule
+from repro.model.cost_model import CostModel
+from repro.model.costs import next_scheme
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId, ProcessorSet, processor_set
+
+
+class FeedEventKind(enum.Enum):
+    """The two event kinds of the append-only model."""
+
+    GENERATE = "generate"
+    READ_LATEST = "read_latest"
+
+
+@dataclass(frozen=True, slots=True)
+class FeedEvent:
+    """One event of the append-only feed."""
+
+    kind: FeedEventKind
+    station: ProcessorId
+
+    def __str__(self) -> str:
+        verb = "gen" if self.kind is FeedEventKind.GENERATE else "read"
+        return f"{verb}@{self.station}"
+
+
+def generate(station: ProcessorId) -> FeedEvent:
+    return FeedEvent(FeedEventKind.GENERATE, station)
+
+
+def read_latest(station: ProcessorId) -> FeedEvent:
+    return FeedEvent(FeedEventKind.READ_LATEST, station)
+
+
+@dataclass(frozen=True)
+class StoredCopy:
+    """A station's stored copy of one object of the sequence."""
+
+    station: ProcessorId
+    sequence_number: int
+
+
+class AppendOnlyFeed:
+    """An append-only object sequence over a set of stations."""
+
+    def __init__(self, events: Iterable[FeedEvent]) -> None:
+        self.events: tuple[FeedEvent, ...] = tuple(events)
+        for event in self.events:
+            if not isinstance(event, FeedEvent):
+                raise ConfigurationError(f"not a feed event: {event!r}")
+
+    @property
+    def stations(self) -> ProcessorSet:
+        return processor_set(event.station for event in self.events)
+
+    @property
+    def object_count(self) -> int:
+        """How many objects the feed generates."""
+        return sum(
+            1 for event in self.events
+            if event.kind is FeedEventKind.GENERATE
+        )
+
+    def to_schedule(self) -> Schedule:
+        """The base-model schedule corresponding to the feed (§6.2)."""
+        requests = []
+        for event in self.events:
+            if event.kind is FeedEventKind.GENERATE:
+                requests.append(write(event.station))
+            else:
+                requests.append(read(event.station))
+        return Schedule(tuple(requests))
+
+
+@dataclass(frozen=True)
+class FeedRunResult:
+    """Outcome of running a DOM algorithm over an append-only feed."""
+
+    allocation: AllocationSchedule
+    cost: float
+    #: For every generated object: the stations storing it at generation
+    #: time (the write's execution set).
+    storage_map: tuple[ProcessorSet, ...]
+
+    def reliability_satisfied(self, threshold: int) -> bool:
+        """True iff every object was stored at >= ``threshold`` stations."""
+        return all(len(stored) >= threshold for stored in self.storage_map)
+
+
+def run_feed(
+    feed: AppendOnlyFeed,
+    algorithm: OnlineDOM,
+    cost_model: CostModel,
+) -> FeedRunResult:
+    """Run a DOM algorithm (SA = permanent standing orders, DA =
+    temporary standing orders) over the feed and collect storage facts."""
+    schedule = feed.to_schedule()
+    allocation = algorithm.run(schedule)
+    cost = cost_model.schedule_cost(allocation)
+    storage_map = tuple(
+        step.execution_set for step in allocation if step.is_write
+    )
+    return FeedRunResult(allocation, cost, storage_map)
+
+
+def standing_order_stations(
+    allocation: AllocationSchedule,
+) -> list[ProcessorSet]:
+    """The evolving set of stations holding the latest object after each
+    event — i.e. the stations whose standing order (permanent or
+    temporary) was satisfied."""
+    schemes: list[ProcessorSet] = []
+    scheme = allocation.initial_scheme
+    for step in allocation:
+        scheme = next_scheme(step, scheme)
+        schemes.append(scheme)
+    return schemes

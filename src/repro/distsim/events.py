@@ -1,0 +1,65 @@
+"""Discrete-event primitives: timestamped events with a stable order.
+
+Events fire in (time, sequence) order — the sequence number breaks ties
+deterministically so simulations are exactly reproducible regardless of
+Python's hash randomization or scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at time {time}")
+        event = Event(time, next(self._counter), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from an empty event queue")
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def peek_time(self) -> float:
+        """The firing time of the next live event."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise SimulationError("peek into an empty event queue")
+        return self._heap[0].time

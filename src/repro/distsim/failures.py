@@ -1,0 +1,75 @@
+"""Failure injection: fail-stop crashes and recoveries.
+
+The paper analyzes SA and DA *"operating in the normal mode (namely, in
+the absence of failures)"* and prescribes a quorum fallback when a
+member of DA's core set ``F`` fails.  The injector realizes the
+fail-stop model: a crash silences a node and wipes its volatile state;
+a recovery brings it back with stale stable storage.  Protocols that
+care (the fault-tolerant DA driver) receive ``on_crash``/``on_recover``
+notifications — standing in for the failure detector the paper's cited
+recovery literature assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.distsim.network import Network
+from repro.exceptions import SimulationError
+from repro.types import ProcessorId
+
+
+class FailureAware(Protocol):  # pragma: no cover - typing protocol
+    """Optional hooks a protocol driver may implement."""
+
+    def on_crash(self, node_id: ProcessorId) -> None: ...
+
+    def on_recover(self, node_id: ProcessorId) -> None: ...
+
+
+class FailureInjector:
+    """Crash and recover nodes, immediately or at scheduled times."""
+
+    def __init__(
+        self,
+        network: Network,
+        protocol: Optional[object] = None,
+    ) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.crash_count = 0
+        self.recovery_count = 0
+
+    # -- immediate (between requests, the common test pattern) ----------------
+
+    def crash_now(self, node_id: ProcessorId) -> None:
+        node = self.network.node(node_id)
+        if not node.alive:
+            raise SimulationError(f"node {node_id} is already down")
+        node.crash()
+        self.crash_count += 1
+        self._notify("on_crash", node_id)
+
+    def recover_now(self, node_id: ProcessorId) -> None:
+        node = self.network.node(node_id)
+        if node.alive:
+            raise SimulationError(f"node {node_id} is not down")
+        node.recover()
+        self.recovery_count += 1
+        self._notify("on_recover", node_id)
+
+    # -- scheduled (mid-request failures) ----------------------------------------
+
+    def schedule_crash(self, node_id: ProcessorId, delay: float) -> None:
+        self.network.simulator.schedule(
+            delay, lambda: self.crash_now(node_id), label=f"crash@{node_id}"
+        )
+
+    def schedule_recovery(self, node_id: ProcessorId, delay: float) -> None:
+        self.network.simulator.schedule(
+            delay, lambda: self.recover_now(node_id), label=f"recover@{node_id}"
+        )
+
+    def _notify(self, hook: str, node_id: ProcessorId) -> None:
+        if self.protocol is not None and hasattr(self.protocol, hook):
+            getattr(self.protocol, hook)(node_id)

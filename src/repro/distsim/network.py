@@ -1,0 +1,167 @@
+"""The point-to-point network.
+
+Paper §5.2: *"in this paper we assumed point-to-point communication"*
+(no broadcast discount), and §3.2 assumes a homogeneous system: the
+same control-message cost, data-message cost and I/O cost between and
+at every pair of processors.  The network therefore charges per message
+by class, independent of the endpoints, and delivers with a fixed
+per-class latency.
+
+Messages addressed to a crashed node are charged to the sender (the
+transmission happened) but dropped at delivery time and counted in
+``stats.dropped_messages`` — the signal protocols use (via the failure
+injector's notifications in this reproduction) to trigger the quorum
+fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.distsim.messages import Message, MessageClass
+from repro.distsim.node import Node
+from repro.distsim.simulator import Simulator
+from repro.distsim.statistics import SimulationStats
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.types import ProcessorId
+
+
+class Network:
+    """A homogeneous point-to-point message network."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        control_latency: float = 1.0,
+        data_latency: float = 3.0,
+        io_latency: float = 2.0,
+        serialize_io: bool = False,
+    ) -> None:
+        if min(control_latency, data_latency, io_latency) < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        self.simulator = simulator
+        self.control_latency = control_latency
+        self.data_latency = data_latency
+        self.io_latency = io_latency
+        #: §1.1: "a higher I/O cost also negatively affects the response
+        #: time".  When enabled, each node's disk serves one operation
+        #: at a time, so concurrent I/Os at the same node queue.
+        self.serialize_io = serialize_io
+        self._disk_free: Dict[ProcessorId, float] = {}
+        self.stats = SimulationStats()
+        self._nodes: Dict[ProcessorId, Node] = {}
+        #: Optional observer notified when a message is dropped because
+        #: its destination is down: ``drop_listener.on_dropped(message)``.
+        self.drop_listener = None
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node_id: ProcessorId) -> Node:
+        if node_id in self._nodes:
+            raise ConfigurationError(f"node {node_id} already exists")
+        node = Node(node_id, self)
+        self._nodes[node_id] = node
+        return node
+
+    def add_nodes(self, node_ids: Iterable[ProcessorId]) -> list[Node]:
+        return [self.add_node(node_id) for node_id in sorted(set(node_ids))]
+
+    def node(self, node_id: ProcessorId) -> Node:
+        if node_id not in self._nodes:
+            raise ConfigurationError(f"unknown node {node_id}")
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> list[ProcessorId]:
+        return sorted(self._nodes)
+
+    def live_nodes(self) -> list[Node]:
+        return [node for node_id, node in sorted(self._nodes.items()) if node.alive]
+
+    # -- transmission ---------------------------------------------------------
+
+    def send(
+        self,
+        message: Message,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Charge and schedule delivery of ``message``.
+
+        ``on_delivered`` (if given) fires right after the receiver
+        handles the message — an *uncharged* experimenter hook used by
+        the drivers to track request completion without polluting the
+        protocol with acknowledgement messages the model does not
+        charge for.
+        """
+        self.validate_endpoints(message)
+        latency = (
+            self.data_latency
+            if message.message_class is MessageClass.DATA
+            else self.control_latency
+        )
+        self.charge_and_schedule(message, latency, on_delivered)
+
+    def validate_endpoints(self, message: Message) -> None:
+        """Reject malformed transmissions (shared with subclasses)."""
+        if message.sender not in self._nodes:
+            raise ProtocolError(f"unknown sender {message.sender}")
+        if message.receiver not in self._nodes:
+            raise ProtocolError(f"unknown receiver {message.receiver}")
+        if message.sender == message.receiver:
+            raise ProtocolError(
+                f"{message.describe()}: a processor does not message itself "
+                "(local work is I/O, not communication)"
+            )
+
+    def charge_and_schedule(
+        self,
+        message: Message,
+        delay: float,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Count the message by class and deliver it after ``delay``."""
+        if message.message_class is MessageClass.DATA:
+            self.stats.data_messages += 1
+        else:
+            self.stats.control_messages += 1
+
+        def delivery() -> None:
+            receiver = self._nodes[message.receiver]
+            if not receiver.alive:
+                self.stats.dropped_messages += 1
+                if self.drop_listener is not None:
+                    self.drop_listener.on_dropped(message)
+                return
+            receiver.deliver(message)
+            if on_delivered is not None:
+                on_delivered()
+
+        self.simulator.schedule(delay, delivery, label=message.describe())
+
+    def perform_io(
+        self,
+        action: Callable[[], None],
+        label: str = "io",
+        node: Optional[ProcessorId] = None,
+    ) -> None:
+        """Schedule a charged I/O completion after the I/O latency.
+
+        With ``serialize_io`` enabled and a ``node`` given, the node's
+        disk serves one operation at a time: the completion waits for
+        the disk to free up (queueing delay), modelling §1.1's I/O
+        contribution to response time.  Counting is unaffected.
+        """
+        if self.serialize_io and node is not None:
+            now = self.simulator.now
+            start = max(now, self._disk_free.get(node, 0.0))
+            self._disk_free[node] = start + self.io_latency
+            delay = start - now + self.io_latency
+        else:
+            delay = self.io_latency
+        self.simulator.schedule(delay, action, label=label)
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the counters (after uncharged initialization)."""
+        self.stats = SimulationStats()

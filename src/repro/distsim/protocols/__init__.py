@@ -1,0 +1,32 @@
+"""Message-passing realizations of the allocation algorithms."""
+
+from repro.distsim.protocols.base import ProtocolDriver, RequestContext
+from repro.distsim.protocols.base_station import (
+    BaseStationDeployment,
+    WirelessBill,
+)
+from repro.distsim.protocols.cddr_protocol import SkiRentalProtocol
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.missing_writes import FaultTolerantDAProtocol
+from repro.distsim.protocols.quorum import (
+    QuorumConsensusProtocol,
+    QuorumMachinery,
+    QuorumPoll,
+)
+from repro.distsim.protocols.sa_protocol import StaticAllocationProtocol
+from repro.distsim.protocols.snoopy import SnoopyCachingProtocol
+
+__all__ = [
+    "BaseStationDeployment",
+    "DynamicAllocationProtocol",
+    "FaultTolerantDAProtocol",
+    "ProtocolDriver",
+    "QuorumConsensusProtocol",
+    "QuorumMachinery",
+    "QuorumPoll",
+    "RequestContext",
+    "SkiRentalProtocol",
+    "SnoopyCachingProtocol",
+    "StaticAllocationProtocol",
+    "WirelessBill",
+]

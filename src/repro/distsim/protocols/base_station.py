@@ -1,0 +1,97 @@
+"""The mobile base-station deployment of DA (paper §2).
+
+*"In mobile computing, assume that the mobile processors are connected
+to a base station which has a processor and a local database.  Then a
+natural choice for t is 2, with F (in DA) consisting of the
+base-station processor.  Then each write from a mobile processor will
+be performed locally, as well as propagated to the base-station.  The
+base station will invalidate the copies at all the other mobile
+processors."*
+
+:class:`BaseStationDeployment` wires exactly this topology: one base
+station (the singleton core ``F``), one distinguished mobile host
+(DA's ``p``), and any number of additional mobile processors.  It also
+reports the *wireless bill*: in the MC cost model every message to or
+from a mobile processor is what the network provider charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.distsim.network import Network
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.simulator import Simulator
+from repro.distsim.statistics import SimulationStats
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import CostModel, mobile
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+
+
+@dataclass(frozen=True)
+class WirelessBill:
+    """What the network provider charges for one run (MC model)."""
+
+    control_messages: int
+    data_messages: int
+    total_charge: float
+
+    @property
+    def total_messages(self) -> int:
+        return self.control_messages + self.data_messages
+
+
+class BaseStationDeployment:
+    """A base station plus mobile hosts running the DA protocol."""
+
+    def __init__(
+        self,
+        base_station: ProcessorId,
+        mobile_hosts: Iterable[ProcessorId],
+        control_latency: float = 1.0,
+        data_latency: float = 3.0,
+        io_latency: float = 0.0,
+    ) -> None:
+        hosts = tuple(sorted(set(mobile_hosts)))
+        if base_station in hosts:
+            raise ConfigurationError(
+                f"the base station {base_station} cannot also be a mobile host"
+            )
+        if not hosts:
+            raise ConfigurationError("need at least one mobile host")
+        self.base_station = base_station
+        self.mobile_hosts = hosts
+        self.simulator = Simulator()
+        self.network = Network(
+            self.simulator,
+            control_latency=control_latency,
+            data_latency=data_latency,
+            io_latency=io_latency,
+        )
+        self.network.add_nodes((base_station,) + hosts)
+        # t = 2: F = {base station}, p = the first mobile host.
+        self.protocol = DynamicAllocationProtocol(
+            self.network,
+            scheme={base_station, hosts[0]},
+            primary=hosts[0],
+        )
+
+    @property
+    def primary_host(self) -> ProcessorId:
+        """DA's processor ``p`` — the initially-replicated mobile host."""
+        return self.mobile_hosts[0]
+
+    def run(self, schedule: Schedule) -> SimulationStats:
+        """Execute a schedule of location reads/updates."""
+        return self.protocol.execute(schedule)
+
+    def bill(self, cost_model: CostModel = mobile(1.0, 1.0)) -> WirelessBill:
+        """The provider's charge for the traffic so far (MC pricing)."""
+        stats = self.network.stats
+        return WirelessBill(
+            control_messages=stats.control_messages,
+            data_messages=stats.data_messages,
+            total_charge=stats.cost(cost_model),
+        )

@@ -1,0 +1,100 @@
+"""The ski-rental (CDDR-flavoured) baseline as a message protocol.
+
+The message-level realization of
+:class:`repro.core.cddr.SkiRentalReplication`: a foreign reader *rents*
+(plain fetches) until its ``rent_limit``-th consecutive foreign read
+since the last write, then *buys* (the server ships the copy marked
+``save_copy=True`` and records the join).
+
+The rental counters live in the serving core member's volatile state —
+the server, not the reader, decides when a join pays off, which is the
+natural place since the server sees every request.  A write clears the
+counters along with the join-lists (both are invalidation-scoped
+state).
+
+Per-request traffic equals the model-level baseline's cost breakdown
+exactly; ``tests/integration/test_cddr_protocol.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.distsim.messages import DataTransfer, ReadRequest
+from repro.distsim.network import Network
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.base import RequestContext
+from repro.exceptions import ProtocolError
+from repro.storage.versions import ObjectVersion
+from repro.types import ProcessorId
+
+_RENTALS = "rental_counters"
+
+
+class SkiRentalProtocol(DynamicAllocationProtocol):
+    """Rent-then-buy dynamic replication on the wire."""
+
+    name = "CDDR-protocol"
+
+    def __init__(
+        self,
+        network: Network,
+        scheme: Iterable[ProcessorId],
+        rent_limit: int = 2,
+        primary: Optional[ProcessorId] = None,
+    ) -> None:
+        super().__init__(network, scheme, primary)
+        if rent_limit < 1:
+            raise ProtocolError("rent_limit must be at least 1")
+        self.rent_limit = rent_limit
+        self.network.node(self.server).volatile[_RENTALS] = {}
+
+    def _rentals(self) -> dict:
+        volatile = self.network.node(self.server).volatile
+        return volatile.setdefault(_RENTALS, {})
+
+    # -- reads: the server decides rent vs buy -----------------------------
+
+    def handle_read_request(self, node, message: ReadRequest) -> None:
+        version = node.input_object()
+        rentals = node.volatile.setdefault(_RENTALS, {})
+        count = rentals.get(message.sender, 0) + 1
+        buying = count >= self.rent_limit
+        if buying:
+            rentals.pop(message.sender, None)
+            if message.sender not in self.core:
+                self._join_list(node.node_id).add(message.sender)
+        else:
+            rentals[message.sender] = count
+
+        def respond() -> None:
+            self.network.send(
+                DataTransfer(
+                    node.node_id,
+                    message.sender,
+                    version=version,
+                    request_id=message.request_id,
+                    save_copy=buying,
+                )
+            )
+
+        self.network.perform_io(
+            respond, label=f"serve-read@{node.node_id}", node=node.node_id
+        )
+
+    def handle_data_transfer(self, node, message: DataTransfer) -> None:
+        context = self.context(message.request_id)
+        if not message.save_copy and context.request.is_read:
+            # A rented read: the object reaches memory, nothing stored.
+            context.version = message.version
+            context.finish_work(self.simulator.now)
+            return
+        super().handle_data_transfer(node, message)
+
+    # -- writes also reset the rental counters -------------------------------
+
+    def start_write(
+        self, context: RequestContext, version: ObjectVersion
+    ) -> None:
+        self._rentals().clear()
+        super().start_write(context, version)

@@ -1,0 +1,187 @@
+"""Dynamic Allocation as a message-passing protocol.
+
+The distributed realization of §4.2.2's DA algorithm, join-lists
+included:
+
+* **Read by a current copy holder** — one local input I/O.
+* **Read by anyone else** — ``ReadRequest`` to the serving member of
+  ``F``; the server inputs the object, ships it back marked
+  ``save_copy=True``, and records the reader in its **join-list**.  The
+  reader outputs the copy (the saving-read's extra I/O) and thereby
+  joins the allocation scheme.
+* **Write by ``j``** — execution set ``F ∪ {p}`` if ``j ∈ F ∪ {p}``,
+  else ``F ∪ {j}``.  The writer outputs locally and ships the version
+  to the other members; every member of ``F`` then walks its join-list
+  and sends ``Invalidate`` control messages to each recorded holder
+  that is neither in the new execution set nor the writer itself
+  (paper: "Each processor of F sends 'invalidate' control-messages to
+  the processors in its join-list, except for q").  Join-lists then
+  restart from the new execution set's non-core members.
+
+Join-lists live in the nodes' *volatile* state: a crash wipes them,
+which is exactly why DA alone cannot survive the failure of an ``F``
+member and the paper prescribes the quorum fallback
+(:mod:`repro.distsim.protocols.missing_writes`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.distsim.messages import DataTransfer, Invalidate, ReadRequest
+from repro.distsim.network import Network
+from repro.distsim.protocols.base import ProtocolDriver, RequestContext
+from repro.exceptions import ProtocolError
+from repro.storage.versions import ObjectVersion
+from repro.types import ProcessorId, ProcessorSet
+
+_JOIN_LIST = "join_list"
+
+
+class DynamicAllocationProtocol(ProtocolDriver):
+    """Save-on-read / invalidate-on-write with join-lists."""
+
+    name = "DA-protocol"
+
+    def __init__(
+        self,
+        network: Network,
+        scheme: Iterable[ProcessorId],
+        primary: Optional[ProcessorId] = None,
+    ) -> None:
+        super().__init__(network, scheme)
+        if primary is None:
+            primary = max(self.initial_scheme)
+        if primary not in self.initial_scheme:
+            raise ProtocolError(
+                f"primary {primary} is not in the scheme "
+                f"{sorted(self.initial_scheme)}"
+            )
+        self.primary = primary
+        self.core: ProcessorSet = self.initial_scheme - {primary}
+        if not self.core:
+            raise ProtocolError("F must be non-empty (t >= 2)")
+        self.server: ProcessorId = min(self.core)
+        for member in self.core:
+            self.network.node(member).volatile[_JOIN_LIST] = set()
+        # The primary starts as a recorded non-core holder.
+        self._join_list(self.server).add(self.primary)
+
+    # -- join-list helpers -----------------------------------------------------
+
+    def _join_list(self, member: ProcessorId) -> Set[ProcessorId]:
+        volatile = self.network.node(member).volatile
+        return volatile.setdefault(_JOIN_LIST, set())
+
+    def recorded_holders(self) -> ProcessorSet:
+        """Union of all join-lists: every non-core holder on record."""
+        holders: set[ProcessorId] = set()
+        for member in self.core:
+            holders |= self._join_list(member)
+        return frozenset(holders)
+
+    def current_scheme(self) -> ProcessorSet:
+        """The allocation scheme as the protocol state implies it."""
+        return self.core | self.recorded_holders()
+
+    # -- reads ---------------------------------------------------------------------
+
+    def start_read(self, context: RequestContext) -> None:
+        reader = context.request.processor
+        if self.network.node(reader).holds_valid_copy:
+            self.local_read(context, reader)
+            return
+        context.add_work()
+        self.network.send(
+            ReadRequest(reader, self.server, request_id=context.request_id)
+        )
+
+    def handle_read_request(self, node, message: ReadRequest) -> None:
+        version = node.input_object()
+        if message.sender not in self.core:
+            # Core members never need join-list records: they are
+            # permanent holders.  (They only send read requests during
+            # post-crash recovery, handled by the fault-tolerant driver.)
+            self._join_list(node.node_id).add(message.sender)
+
+        def respond() -> None:
+            self.network.send(
+                DataTransfer(
+                    node.node_id,
+                    message.sender,
+                    version=version,
+                    request_id=message.request_id,
+                    save_copy=True,
+                )
+            )
+
+        self.network.perform_io(
+            respond, label=f"serve-read@{node.node_id}", node=node.node_id
+        )
+
+    def handle_data_transfer(self, node, message: DataTransfer) -> None:
+        context = self.context(message.request_id)
+        node.output_object(message.version)
+        if context.request.is_read:
+            # Saving-read: the reader has the object in memory as soon
+            # as it arrives; the save I/O still belongs to the request.
+            context.version = message.version
+        self.network.perform_io(
+            lambda: context.finish_work(self.simulator.now),
+            label=f"store@{node.node_id}",
+            node=node.node_id,
+        )
+
+    def handle_invalidate(self, node, message: Invalidate) -> None:
+        node.invalidate_copy()
+        context = self.context(message.request_id)
+        context.finish_work(self.simulator.now)
+
+    # -- writes ----------------------------------------------------------------------
+
+    def execution_set_for(self, writer: ProcessorId) -> ProcessorSet:
+        if writer in self.core | {self.primary}:
+            return self.core | {self.primary}
+        return self.core | {writer}
+
+    def start_write(
+        self, context: RequestContext, version: ObjectVersion
+    ) -> None:
+        writer = context.request.processor
+        execution_set = self.execution_set_for(writer)
+        if writer not in execution_set:  # pragma: no cover - DA invariant
+            raise ProtocolError("DA writes always include the writer")
+
+        # 1. Invalidations along the join-lists, before the lists reset.
+        for member in sorted(self.core):
+            join_list = self._join_list(member)
+            targets = sorted(join_list - execution_set - {writer})
+            for target in targets:
+                context.add_work()
+                self.network.send(
+                    Invalidate(
+                        member,
+                        target,
+                        version_number=version.number,
+                        request_id=context.request_id,
+                    )
+                )
+            join_list.clear()
+
+        # 2. Store at the execution set.
+        self.local_write(context, writer, version)
+        for member in sorted(execution_set - {writer}):
+            context.add_work()
+            self.network.send(
+                DataTransfer(
+                    writer,
+                    member,
+                    version=version,
+                    request_id=context.request_id,
+                    save_copy=True,
+                )
+            )
+
+        # 3. Restart the join-list record from the new holders.
+        for holder in execution_set - self.core:
+            self._join_list(self.server).add(holder)

@@ -1,0 +1,339 @@
+"""Fault-tolerant DA: quorum fallback via the missing-writes idea.
+
+Paper §2: *"We propose that the DA algorithm handles failures by
+resorting to quorum consensus with static allocation when a processor
+of the set F fails.  The transition occurs using the missing writes
+algorithm.  Details are omitted due to space limitations."*
+
+This driver reconstructs those omitted details from the cited
+literature (Eager & Sevcik '83 for missing writes; Gifford '79 /
+Thomas '79 for quorums):
+
+* **Normal mode** — plain DA (join-lists and all).
+* **Crash of a scheme member** (a core processor, or the distinguished
+  ``p`` while it holds a copy) — switch to majority quorum consensus.
+  Every write performed while any node is down is appended to that
+  node's *missing-writes log* (kept by the driver, standing in for the
+  distributed log of Eager–Sevcik).
+* **Recovery** — the recovered node runs a handshake against a live
+  holder: if its log is empty the stable copy is revalidated at the
+  price of a version check (one control round-trip); otherwise the
+  latest version is shipped (read-request control + data message +
+  output I/O).
+* **Return to normal mode** once every core member is live again:
+  core members that missed quorum writes are refreshed, stale non-core
+  copies are invalidated, and the join-lists are rebuilt from the
+  surviving holders of the latest version.  All transition traffic is
+  charged through the network like any other message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.distsim.messages import (
+    DataTransfer,
+    Invalidate,
+    ReadRequest,
+    VersionInquiry,
+    VersionReport,
+)
+from repro.distsim.network import Network
+from repro.distsim.protocols.base import RequestContext
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.quorum import QuorumMachinery
+from repro.exceptions import ProtocolError
+from repro.model.request import read
+from repro.storage.versions import ObjectVersion
+from repro.types import ProcessorId
+
+
+class FaultTolerantDAProtocol(QuorumMachinery, DynamicAllocationProtocol):
+    """DA in the normal mode; quorum consensus while core members are down."""
+
+    name = "DA-failover"
+
+    def __init__(
+        self,
+        network: Network,
+        scheme: Iterable[ProcessorId],
+        primary: Optional[ProcessorId] = None,
+        read_quorum: Optional[int] = None,
+        write_quorum: Optional[int] = None,
+        votes: Optional[Dict[ProcessorId, int]] = None,
+    ) -> None:
+        DynamicAllocationProtocol.__init__(self, network, scheme, primary)
+        self._init_quorums(read_quorum, write_quorum, votes)
+        self.mode = "da"
+        self.mode_switches: List[str] = []
+        #: node -> version numbers written while it was down.
+        self.missing_writes: Dict[ProcessorId, List[int]] = {}
+        #: recovery handshakes in flight: request_id -> recovering node.
+        self._recovery_checks: Dict[int, ProcessorId] = {}
+
+    # -- failure-detector hooks (called by the FailureInjector) ---------------
+
+    def on_crash(self, node_id: ProcessorId) -> None:
+        self._require_idle("crash handling")
+        self.missing_writes[node_id] = []
+        scheme_members = self.core | {self.primary}
+        if node_id in scheme_members and self.mode == "da":
+            self._switch_mode("quorum")
+            self._establish_write_quorum()
+
+    def on_recover(self, node_id: ProcessorId) -> None:
+        self._require_idle("recovery")
+        missed = self.missing_writes.pop(node_id, [])
+        self._recovery_handshake(node_id, missed)
+        self.simulator.run()
+        if self.mode == "quorum" and self._all_scheme_members_alive():
+            self._return_to_da()
+
+    def _require_idle(self, what: str) -> None:
+        if self.simulator.is_running:
+            raise ProtocolError(
+                f"{what} by the fault-tolerant driver must be injected "
+                "between requests (use FailureInjector.crash_now / "
+                "recover_now), not mid-request"
+            )
+
+    def _all_scheme_members_alive(self) -> bool:
+        return all(
+            self.network.node(member).alive
+            for member in self.core | {self.primary}
+        )
+
+    def _switch_mode(self, mode: str) -> None:
+        self.mode = mode
+        self.mode_switches.append(mode)
+
+    # -- request dispatch -----------------------------------------------------
+
+    def start_read(self, context: RequestContext) -> None:
+        if self.mode == "quorum":
+            self.quorum_read(context)
+        else:
+            DynamicAllocationProtocol.start_read(self, context)
+
+    def start_write(
+        self, context: RequestContext, version: ObjectVersion
+    ) -> None:
+        for log in self.missing_writes.values():
+            log.append(version.number)
+        if self.mode == "quorum":
+            self.quorum_write(context, version)
+        else:
+            DynamicAllocationProtocol.start_write(self, context, version)
+
+    # -- message dispatch: route by mode and in-flight recovery state ----------
+
+    def handle_read_request(self, node, message: ReadRequest) -> None:
+        if message.request_id in self._recovery_checks:
+            # Serving a recovery fetch: ship the latest version.
+            self.quorum_serve_read(node, message)
+            return
+        if self.mode == "quorum":
+            self.quorum_serve_read(node, message)
+        else:
+            DynamicAllocationProtocol.handle_read_request(self, node, message)
+
+    def handle_data_transfer(self, node, message: DataTransfer) -> None:
+        recovering = self._recovery_checks.get(message.request_id)
+        if recovering is not None:
+            node.output_object(message.version)
+            del self._recovery_checks[message.request_id]
+            context = self.context(message.request_id)
+            self.network.perform_io(
+                lambda: context.finish_work(self.simulator.now),
+                label=f"recovery-store@{node.node_id}",
+                node=node.node_id,
+            )
+            return
+        if self.mode == "quorum":
+            if message.save_copy:
+                self.quorum_store(node, message)
+            else:
+                self.quorum_read_response(node, message)
+        else:
+            DynamicAllocationProtocol.handle_data_transfer(self, node, message)
+
+    def handle_version_inquiry(self, node, message: VersionInquiry) -> None:
+        QuorumMachinery.handle_version_inquiry(self, node, message)
+
+    def handle_version_report(self, node, message: VersionReport) -> None:
+        recovering = self._recovery_checks.get(message.request_id)
+        if recovering is not None:
+            # The recovered node's copy was current after all.
+            node.database.revalidate()
+            del self._recovery_checks[message.request_id]
+            context = self.context(message.request_id)
+            context.finish_work(self.simulator.now)
+            return
+        QuorumMachinery.handle_version_report(self, node, message)
+
+    def handle_invalidate(self, node, message: Invalidate) -> None:
+        DynamicAllocationProtocol.handle_invalidate(self, node, message)
+
+    # -- recovery -------------------------------------------------------------------
+
+    def _live_latest_holder(
+        self, excluding: ProcessorId
+    ) -> Optional[ProcessorId]:
+        latest = self.latest_version.number
+        for node in self.network.live_nodes():
+            if node.node_id == excluding:
+                continue
+            version = node.database.peek_version()
+            if version is not None and version.number == latest:
+                return node.node_id
+        return None
+
+    def _recovery_handshake(
+        self, node_id: ProcessorId, missed: List[int]
+    ) -> None:
+        """Run the missing-writes handshake as a system-internal request.
+
+        Only scheme members (core processors and ``p``) must hold the
+        latest version; any other node recovers silently — its crash
+        already marked the local copy invalid, so its next read will be
+        an ordinary saving-read.
+        """
+        if node_id not in self.core | {self.primary}:
+            return
+        holder = self._live_latest_holder(excluding=node_id)
+        if holder is None:
+            raise ProtocolError(
+                "no live holder of the latest version; the object is lost"
+            )
+        stored = self.network.node(node_id).database.peek_version()
+        needs_fetch = (
+            bool(missed)
+            or stored is None
+            or stored.number != self.latest_version.number
+        )
+        context = self._new_context(read(node_id))
+        context.add_work()
+        self._recovery_checks[context.request_id] = node_id
+        if needs_fetch:
+            # Fetch the latest version: control request, data reply, I/O.
+            self.network.send(
+                ReadRequest(node_id, holder, request_id=context.request_id)
+            )
+        else:
+            # Version check only: control inquiry, control report.
+            self.network.send(
+                VersionInquiry(node_id, holder, request_id=context.request_id)
+            )
+
+    def _survey(self) -> tuple[set[ProcessorId], set[ProcessorId]]:
+        """(live holders of the latest version, live stale-copy nodes)."""
+        latest = self.latest_version.number
+        holders: set[ProcessorId] = set()
+        stale: set[ProcessorId] = set()
+        for node in self.network.live_nodes():
+            version = node.database.peek_version()
+            if version is None:
+                continue
+            if version.number == latest:
+                holders.add(node.node_id)
+            else:
+                stale.add(node.node_id)
+        return holders, stale
+
+    def _system_round(self) -> RequestContext:
+        """A context for driver-internal (transition) traffic."""
+        context = self._new_context(read(self.server))
+        context.add_work()  # sentinel so intermediate zeros don't finish it
+        return context
+
+    def _close_system_round(self, context: RequestContext, what: str) -> None:
+        context.finish_work(self.simulator.now)  # drop the sentinel
+        self.simulator.run()
+        if context.done_time is None:
+            raise ProtocolError(f"the {what} round did not complete")
+
+    def _establish_write_quorum(self) -> None:
+        """Entering quorum mode: pre-fallback DA writes did not follow
+        the quorum rule, so quorum intersection proves nothing about
+        them.  Ship the latest version to a full write quorum first
+        (the core of the missing-writes transition); afterwards every
+        read quorum provably contains a latest copy."""
+        holders, _ = self._survey()
+        if not holders:
+            raise ProtocolError(
+                "no live holder of the latest version; the object is lost"
+            )
+        live_ids = [node.node_id for node in self.network.live_nodes()]
+        if len(live_ids) < self.write_quorum:
+            raise ProtocolError(
+                f"only {len(live_ids)} live nodes; cannot establish a "
+                f"write quorum of {self.write_quorum}"
+            )
+        source = min(holders)
+        targets = []
+        quorum_members = set(holders)
+        for node_id in sorted(live_ids):
+            if len(quorum_members) >= self.write_quorum:
+                break
+            if node_id not in quorum_members:
+                targets.append(node_id)
+                quorum_members.add(node_id)
+        if not targets:
+            return
+        context = self._system_round()
+        for target in targets:
+            context.add_work()
+            self.network.send(
+                DataTransfer(
+                    source,
+                    target,
+                    version=self.latest_version,
+                    request_id=context.request_id,
+                    save_copy=True,
+                )
+            )
+        self._close_system_round(context, "write-quorum establishment")
+
+    def _return_to_da(self) -> None:
+        """Leave quorum mode: restore DA's invariants, charging the
+        transition traffic."""
+        holders, stale = self._survey()
+        if not holders:
+            raise ProtocolError(
+                "no live holder of the latest version; the object is lost"
+            )
+        context = self._system_round()
+        core_holders = holders & self.core
+        source = min(core_holders) if core_holders else min(holders)
+        # Refresh core members (and p) that missed quorum writes.
+        for member in sorted((self.core | {self.primary}) - holders):
+            context.add_work()
+            self.network.send(
+                DataTransfer(
+                    source,
+                    member,
+                    version=self.latest_version,
+                    request_id=context.request_id,
+                    save_copy=True,
+                )
+            )
+            holders.add(member)
+        # Invalidate stale non-core copies so DA's "every valid copy is
+        # the latest" invariant holds again.
+        for node_id in sorted(stale - self.core - {self.primary}):
+            context.add_work()
+            self.network.send(
+                Invalidate(
+                    source,
+                    node_id,
+                    version_number=self.latest_version.number,
+                    request_id=context.request_id,
+                )
+            )
+        self._close_system_round(context, "DA restoration")
+        # Rebuild join-lists from the surviving latest holders.
+        for member in self.core:
+            self._join_list(member).clear()
+        for holder in holders - self.core:
+            self._join_list(self.server).add(holder)
+        self._switch_mode("da")

@@ -1,0 +1,110 @@
+"""Static Allocation as a message-passing protocol.
+
+The distributed realization of §4.2.1's SA algorithm:
+
+* **Read by a member of Q** — one local input I/O.
+* **Read by an outsider** — a ``ReadRequest`` control message to the
+  designated server in ``Q``, which inputs the object (I/O) and ships
+  it back in a ``DataTransfer`` data message.  The outsider does *not*
+  save the copy.
+* **Write by anyone** — the writer ships the new version to every
+  member of ``Q`` (data messages; one fewer if the writer is itself in
+  ``Q``, which instead performs a local output), and each member
+  outputs it (I/O).  No invalidations are ever needed: the scheme is
+  fixed.
+
+Per-request message/I-O counts equal the analytic model's cost
+breakdown exactly; ``tests/integration`` asserts this per request.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.distsim.messages import DataTransfer, ReadRequest
+from repro.distsim.network import Network
+from repro.distsim.protocols.base import ProtocolDriver, RequestContext
+from repro.exceptions import ProtocolError
+from repro.storage.versions import ObjectVersion
+from repro.types import ProcessorId
+
+
+class StaticAllocationProtocol(ProtocolDriver):
+    """Read-one-write-all over a fixed replica set ``Q``."""
+
+    name = "SA-protocol"
+
+    def __init__(
+        self,
+        network: Network,
+        scheme: Iterable[ProcessorId],
+    ) -> None:
+        super().__init__(network, scheme)
+        self.server: ProcessorId = min(self.initial_scheme)
+
+    # -- reads ------------------------------------------------------------
+
+    def start_read(self, context: RequestContext) -> None:
+        reader = context.request.processor
+        if reader in self.initial_scheme:
+            self.local_read(context, reader)
+            return
+        context.add_work()
+        self.network.send(
+            ReadRequest(reader, self.server, request_id=context.request_id)
+        )
+
+    def handle_read_request(self, node, message: ReadRequest) -> None:
+        version = node.input_object()
+
+        def respond() -> None:
+            self.network.send(
+                DataTransfer(
+                    node.node_id,
+                    message.sender,
+                    version=version,
+                    request_id=message.request_id,
+                    save_copy=False,
+                )
+            )
+
+        self.network.perform_io(
+            respond, label=f"serve-read@{node.node_id}", node=node.node_id
+        )
+
+    def handle_data_transfer(self, node, message: DataTransfer) -> None:
+        context = self.context(message.request_id)
+        if message.save_copy:
+            # A replica receiving a write's new version.
+            node.output_object(message.version)
+            self.network.perform_io(
+                lambda: context.finish_work(self.simulator.now),
+                label=f"store@{node.node_id}",
+                node=node.node_id,
+            )
+        else:
+            # A read response: the object reached the reader's memory.
+            context.version = message.version
+            context.finish_work(self.simulator.now)
+
+    # -- writes ------------------------------------------------------------------
+
+    def start_write(
+        self, context: RequestContext, version: ObjectVersion
+    ) -> None:
+        writer = context.request.processor
+        if writer in self.initial_scheme:
+            self.local_write(context, writer, version)
+        for member in sorted(self.initial_scheme - {writer}):
+            context.add_work()
+            self.network.send(
+                DataTransfer(
+                    writer,
+                    member,
+                    version=version,
+                    request_id=context.request_id,
+                    save_copy=True,
+                )
+            )
+        if context.pending == 0:
+            raise ProtocolError("a write must do some work")

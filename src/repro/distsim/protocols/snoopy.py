@@ -1,0 +1,157 @@
+"""Snoopy caching on a shared bus — §5.2's CDVM architecture, realized.
+
+Paper §5.2's fourth difference between CDVM methods and replicated
+databases: *"The architecture assumed in most CDVM methods is
+bus-based.  This architecture supports broadcast at the same cost as a
+single-cast ...  In contrast, in this paper we assumed point-to-point
+communication."*
+
+:class:`SnoopyCachingProtocol` runs write-invalidation caching on a
+:class:`~repro.distsim.bus.SharedBusNetwork` with true broadcast:
+
+* a **read miss** puts one request on the bus; every node snoops it and
+  the (deterministically lowest-id) valid holder answers with the
+  object; the reader caches the copy;
+* a **write** puts one `Invalidate` broadcast on the bus — *one*
+  control charge regardless of how many caches hold the line — then
+  stores locally and at the ``t - 1`` lowest-id other nodes (the
+  availability constraint CDVM itself lacks, §5.2's first difference).
+
+Compared with DA on the same bus, the write-side economics flip: DA
+pays one invalidation per recorded joiner, snoopy always pays one
+broadcast.  The integration tests quantify exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.distsim.bus import SharedBusNetwork
+from repro.distsim.messages import DataTransfer, Invalidate, ReadRequest
+from repro.distsim.protocols.base import ProtocolDriver, RequestContext
+from repro.exceptions import ProtocolError
+from repro.storage.versions import ObjectVersion
+from repro.types import ProcessorId
+
+
+class SnoopyCachingProtocol(ProtocolDriver):
+    """Write-invalidation caching with bus broadcast."""
+
+    name = "snoopy-protocol"
+
+    def __init__(
+        self,
+        network: SharedBusNetwork,
+        scheme: Iterable[ProcessorId],
+    ) -> None:
+        if not isinstance(network, SharedBusNetwork):
+            raise ProtocolError(
+                "snoopy caching requires a SharedBusNetwork (the broadcast "
+                "economics are the whole point, paper §5.2)"
+            )
+        super().__init__(network, scheme)
+        self.threshold = len(self.initial_scheme)
+
+    # -- ownership ----------------------------------------------------------
+
+    def _owner(self) -> ProcessorId:
+        """The lowest-id node holding a valid copy (the cache that
+        answers a snooped read request)."""
+        for node_id in self.network.node_ids:
+            if self.network.node(node_id).holds_valid_copy:
+                return node_id
+        raise ProtocolError("no valid copy anywhere: the object is lost")
+
+    def _holders(self) -> list[ProcessorId]:
+        return [
+            node_id
+            for node_id in self.network.node_ids
+            if self.network.node(node_id).holds_valid_copy
+        ]
+
+    # -- reads -----------------------------------------------------------------
+
+    def start_read(self, context: RequestContext) -> None:
+        reader = context.request.processor
+        if self.network.node(reader).holds_valid_copy:
+            self.local_read(context, reader)
+            return
+        context.add_work()
+        # One bus transmission; every cache snoops, the owner answers.
+        self.network.send(
+            ReadRequest(reader, self._owner(), request_id=context.request_id)
+        )
+
+    def handle_read_request(self, node, message: ReadRequest) -> None:
+        version = node.input_object()
+
+        def respond() -> None:
+            self.network.send(
+                DataTransfer(
+                    node.node_id,
+                    message.sender,
+                    version=version,
+                    request_id=message.request_id,
+                    save_copy=True,
+                )
+            )
+
+        self.network.perform_io(
+            respond, label=f"serve-read@{node.node_id}", node=node.node_id
+        )
+
+    def handle_data_transfer(self, node, message: DataTransfer) -> None:
+        context = self.context(message.request_id)
+        node.output_object(message.version)
+        if context.request.is_read:
+            context.version = message.version
+        self.network.perform_io(
+            lambda: context.finish_work(self.simulator.now),
+            label=f"cache@{node.node_id}",
+            node=node.node_id,
+        )
+
+    def handle_invalidate(self, node, message: Invalidate) -> None:
+        node.invalidate_copy()
+
+    # -- writes --------------------------------------------------------------------
+
+    def start_write(
+        self, context: RequestContext, version: ObjectVersion
+    ) -> None:
+        writer = context.request.processor
+        bus: SharedBusNetwork = self.network  # type: ignore[assignment]
+        # 1. One invalidation broadcast, snooped by every other cache.
+        stale = [holder for holder in self._holders() if holder != writer]
+        if stale:
+            context.add_work()
+            bus.broadcast(
+                [
+                    Invalidate(
+                        writer,
+                        holder,
+                        version_number=version.number,
+                        request_id=context.request_id,
+                    )
+                    for holder in stale
+                ],
+                on_complete=lambda: context.finish_work(self.simulator.now),
+            )
+        # 2. Store locally plus at t-1 partners for availability.
+        self.local_write(context, writer, version)
+        partners = [
+            node_id
+            for node_id in self.network.node_ids
+            if node_id != writer
+        ][: self.threshold - 1]
+        for partner in partners:
+            context.add_work()
+            self.network.send(
+                DataTransfer(
+                    writer,
+                    partner,
+                    version=version,
+                    request_id=context.request_id,
+                    save_copy=True,
+                )
+            )

@@ -1,0 +1,110 @@
+"""Convenience runners: execute schedules on the simulator and compare
+the counted traffic against the analytic cost model.
+
+The central validation of the reproduction's substrate: for SA and DA,
+the discrete-event protocol's per-request (I/O, control, data) counts
+must equal the model's per-request cost breakdown *exactly*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.base import OnlineDOM
+from repro.distsim.network import Network
+from repro.distsim.protocols.base import ProtocolDriver
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.sa_protocol import StaticAllocationProtocol
+from repro.distsim.simulator import Simulator
+from repro.distsim.statistics import SimulationStats
+from repro.exceptions import ConfigurationError
+from repro.model.accounting import CostBreakdown
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId, processor_set
+
+
+def build_network(
+    processors: Iterable[ProcessorId],
+    control_latency: float = 1.0,
+    data_latency: float = 3.0,
+    io_latency: float = 2.0,
+) -> Network:
+    """A fresh simulator + network hosting the given processors."""
+    simulator = Simulator()
+    network = Network(
+        simulator,
+        control_latency=control_latency,
+        data_latency=data_latency,
+        io_latency=io_latency,
+    )
+    network.add_nodes(processors)
+    return network
+
+
+def make_protocol(
+    name: str,
+    network: Network,
+    scheme: Iterable[ProcessorId],
+    primary: Optional[ProcessorId] = None,
+) -> ProtocolDriver:
+    """Build an SA or DA protocol driver by short name."""
+    key = name.strip().upper()
+    if key == "SA":
+        return StaticAllocationProtocol(network, scheme)
+    if key == "DA":
+        return DynamicAllocationProtocol(network, scheme, primary=primary)
+    raise ConfigurationError(f"unknown protocol {name!r}; known: SA, DA")
+
+
+def run_protocol(
+    name: str,
+    schedule: Schedule,
+    scheme: Iterable[ProcessorId],
+    primary: Optional[ProcessorId] = None,
+) -> SimulationStats:
+    """One-shot: build everything, run the schedule, return the stats."""
+    scheme = processor_set(scheme)
+    network = build_network(set(schedule.processors) | scheme)
+    protocol = make_protocol(name, network, scheme, primary)
+    return protocol.execute(schedule)
+
+
+@dataclass(frozen=True)
+class RequestComparison:
+    """Per-request simulated vs analytic breakdowns."""
+
+    index: int
+    simulated: CostBreakdown
+    analytic: CostBreakdown
+
+    @property
+    def matches(self) -> bool:
+        return self.simulated == self.analytic
+
+
+def compare_with_model(
+    protocol: ProtocolDriver,
+    algorithm: OnlineDOM,
+    schedule: Schedule,
+) -> list[RequestComparison]:
+    """Run the same schedule through the simulator and the model-level
+    algorithm, returning the per-request breakdown comparison.
+
+    ``protocol`` must be freshly built (no traffic yet) and configured
+    identically to ``algorithm`` (same scheme, same primary).
+    """
+    allocation = algorithm.run(schedule)
+    analytic = allocation.breakdowns()
+    comparisons = []
+    for index, request in enumerate(schedule):
+        before = protocol.network.stats.snapshot()
+        protocol.execute_request(request)
+        delta = protocol.network.stats.delta(before)
+        comparisons.append(RequestComparison(index, delta, analytic[index]))
+    return comparisons
+
+
+def mismatches(comparisons: list[RequestComparison]) -> list[RequestComparison]:
+    """The comparisons that disagree (empty list = full agreement)."""
+    return [comparison for comparison in comparisons if not comparison.matches]

@@ -1,0 +1,76 @@
+"""Simulation statistics: message and I/O counters, priced on demand.
+
+The whole point of the discrete-event substrate is that its counters
+can be compared *unit for unit* with the analytic cost model:
+``SimulationStats.breakdown()`` returns the same
+:class:`~repro.model.accounting.CostBreakdown` type the model produces,
+and the integration tests assert equality per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.accounting import CostBreakdown
+from repro.model.cost_model import CostModel
+
+
+@dataclass
+class SimulationStats:
+    """Mutable counters accumulated during a simulation run."""
+
+    control_messages: int = 0
+    data_messages: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    requests_completed: int = 0
+    #: Completion (simulation-time) latency of each request, in order.
+    latencies: list = field(default_factory=list)
+    #: Messages dropped because the destination was crashed.
+    dropped_messages: int = 0
+
+    def breakdown(self) -> CostBreakdown:
+        """The priceable counters as a model-layer cost breakdown."""
+        return CostBreakdown(
+            io_ops=self.io_reads + self.io_writes,
+            control_messages=self.control_messages,
+            data_messages=self.data_messages,
+        )
+
+    def cost(self, model: CostModel) -> float:
+        """Total cost of the run under a cost model."""
+        return model.price(self.breakdown())
+
+    def snapshot(self) -> "SimulationStats":
+        """An independent copy (for per-request deltas)."""
+        return SimulationStats(
+            self.control_messages,
+            self.data_messages,
+            self.io_reads,
+            self.io_writes,
+            self.requests_completed,
+            list(self.latencies),
+            self.dropped_messages,
+        )
+
+    def delta(self, earlier: "SimulationStats") -> CostBreakdown:
+        """Breakdown of what happened since ``earlier``."""
+        return CostBreakdown(
+            io_ops=(self.io_reads + self.io_writes)
+            - (earlier.io_reads + earlier.io_writes),
+            control_messages=self.control_messages - earlier.control_messages,
+            data_messages=self.data_messages - earlier.data_messages,
+        )
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return max(self.latencies)

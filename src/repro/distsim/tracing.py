@@ -1,0 +1,113 @@
+"""Message tracing: record every transmission for inspection.
+
+A :class:`MessageLog` attaches to a network and records one entry per
+sent message — timestamp, type, endpoints, pricing class.  Two uses:
+
+* **debugging** — dump the exact conversation a protocol had;
+* **golden tests** — the paper's worked examples have fully determined
+  message sequences (our protocols are deterministic), so the expected
+  trace can be written down and asserted verbatim
+  (``tests/integration/test_golden_traces.py``).
+
+Tracing is an observer: it never alters charging, delivery or timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.distsim.messages import Message, MessageClass
+from repro.distsim.network import Network
+from repro.types import ProcessorId
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded transmission."""
+
+    time: float
+    kind: str
+    sender: ProcessorId
+    receiver: ProcessorId
+    message_class: MessageClass
+
+    def compact(self) -> str:
+        """Short form used by golden tests: ``Kind(src->dst)``."""
+        return f"{self.kind}({self.sender}->{self.receiver})"
+
+    def __str__(self) -> str:
+        flavor = "data" if self.message_class is MessageClass.DATA else "ctrl"
+        return (
+            f"t={self.time:g} {self.kind} {self.sender}->{self.receiver} "
+            f"[{flavor}]"
+        )
+
+
+class MessageLog:
+    """Records every message a network sends.
+
+    Wraps the network's ``send`` method; uninstall with
+    :meth:`detach`.  Entries are recorded at *send* time (the moment
+    the cost is charged), in deterministic order.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.entries: List[TraceEntry] = []
+        self._original_send: Optional[Callable] = None
+        self._attach()
+
+    def _attach(self) -> None:
+        if self._original_send is not None:
+            return
+        original = self.network.send
+
+        def traced_send(message: Message, on_delivered=None):
+            self.entries.append(
+                TraceEntry(
+                    self.network.simulator.now,
+                    type(message).__name__,
+                    message.sender,
+                    message.receiver,
+                    message.message_class,
+                )
+            )
+            return original(message, on_delivered)
+
+        self._original_send = original
+        self.network.send = traced_send  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Stop tracing and restore the network's send method."""
+        if self._original_send is not None:
+            self.network.send = self._original_send  # type: ignore[method-assign]
+            self._original_send = None
+
+    # -- views -----------------------------------------------------------
+
+    def compact(self) -> List[str]:
+        """The short-form sequence, for golden comparisons."""
+        return [entry.compact() for entry in self.entries]
+
+    def of_kind(self, kind: str) -> List[TraceEntry]:
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def between(
+        self, sender: ProcessorId, receiver: ProcessorId
+    ) -> List[TraceEntry]:
+        return [
+            entry
+            for entry in self.entries
+            if entry.sender == sender and entry.receiver == receiver
+        ]
+
+    def clear(self) -> None:
+        self.entries = []
+
+    def dump(self) -> str:
+        """Human-readable transcript."""
+        return "\n".join(str(entry) for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,56 @@
+"""The formal model of paper §3: schedules, allocation schedules, costs.
+
+Public surface:
+
+* :class:`~repro.model.request.Request`,
+  :func:`~repro.model.request.read`, :func:`~repro.model.request.write`,
+  :class:`~repro.model.request.ExecutedRequest`
+* :class:`~repro.model.schedule.Schedule`
+* :class:`~repro.model.allocation.AllocationSchedule`
+* :class:`~repro.model.cost_model.CostModel`,
+  :func:`~repro.model.cost_model.stationary`,
+  :func:`~repro.model.cost_model.mobile`
+* :class:`~repro.model.accounting.CostBreakdown`
+"""
+
+from repro.model.accounting import CostBreakdown
+from repro.model.allocation import AllocationSchedule
+from repro.model.cost_model import CostModel, mobile, stationary
+from repro.model.heterogeneous import HeterogeneousCostModel, homogeneous
+from repro.model.partial_order import (
+    PartialSchedule,
+    ReadGroup,
+    cost_is_linearization_invariant,
+)
+from repro.model.costs import (
+    next_scheme,
+    read_breakdown,
+    request_breakdown,
+    write_breakdown,
+)
+from repro.model.request import ExecutedRequest, Request, RequestKind, read, write
+from repro.model.schedule import Schedule, concat
+
+__all__ = [
+    "AllocationSchedule",
+    "CostBreakdown",
+    "CostModel",
+    "ExecutedRequest",
+    "HeterogeneousCostModel",
+    "PartialSchedule",
+    "ReadGroup",
+    "Request",
+    "RequestKind",
+    "Schedule",
+    "concat",
+    "cost_is_linearization_invariant",
+    "homogeneous",
+    "mobile",
+    "next_scheme",
+    "read",
+    "read_breakdown",
+    "request_breakdown",
+    "stationary",
+    "write",
+    "write_breakdown",
+]

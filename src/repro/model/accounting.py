@@ -1,0 +1,79 @@
+"""Cost accounting: break the cost of a request into its components.
+
+The paper's cost function (§3.2, §3.3) charges three kinds of units:
+
+* I/O operations against a local database (``c_io``, normalized to 1 in
+  the stationary model and 0 in the mobile model),
+* control messages (``c_c``) — request and invalidate messages,
+* data messages (``c_d``) — messages that carry the object.
+
+:class:`CostBreakdown` keeps the three *counts* separate so the same
+execution can be re-priced under different ``(c_io, c_c, c_d)``
+parameters, and so the discrete-event simulator's message/I/O counters
+can be compared unit-for-unit against the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """Counts of I/O operations, control messages and data messages.
+
+    Immutable and additive: breakdowns compose with ``+`` and scale with
+    ``*`` so per-request breakdowns can be summed into schedule totals.
+    """
+
+    io_ops: int = 0
+    control_messages: int = 0
+    data_messages: int = 0
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        if not isinstance(other, CostBreakdown):
+            return NotImplemented
+        return CostBreakdown(
+            self.io_ops + other.io_ops,
+            self.control_messages + other.control_messages,
+            self.data_messages + other.data_messages,
+        )
+
+    def __mul__(self, times: int) -> "CostBreakdown":
+        return CostBreakdown(
+            self.io_ops * times,
+            self.control_messages * times,
+            self.data_messages * times,
+        )
+
+    __rmul__ = __mul__
+
+    def priced(self, c_io: float, c_c: float, c_d: float) -> float:
+        """Total cost of this breakdown under the given unit prices."""
+        return (
+            self.io_ops * c_io
+            + self.control_messages * c_c
+            + self.data_messages * c_d
+        )
+
+    @property
+    def total_messages(self) -> int:
+        return self.control_messages + self.data_messages
+
+    def __str__(self) -> str:
+        return (
+            f"{self.io_ops} io + {self.control_messages} ctrl"
+            f" + {self.data_messages} data"
+        )
+
+
+#: The zero breakdown, handy as a fold seed.
+ZERO = CostBreakdown()
+
+
+def total(breakdowns) -> CostBreakdown:
+    """Sum an iterable of breakdowns."""
+    result = ZERO
+    for item in breakdowns:
+        result = result + item
+    return result

@@ -1,0 +1,116 @@
+"""The per-request cost functions of paper §3.2 (SC) and §3.3 (MC).
+
+The two cost models differ only in the price of an I/O operation
+(``c_io = 1`` for stationary computing, ``c_io = 0`` for mobile
+computing), so we compute a *price-independent*
+:class:`~repro.model.accounting.CostBreakdown` — counts of I/O
+operations, control messages and data messages — and let the cost model
+price it.  The counts below transcribe the paper's formulas exactly:
+
+Non-saving read ``r_i`` with execution set ``X``::
+
+    i in X:      (|X|-1) control + |X| io + (|X|-1) data
+    i not in X:  |X| control     + |X| io + |X| data
+
+Saving read: one extra I/O operation ("to account for the extra I/O
+cost to save the object in the local database at i").  In the mobile
+model this extra I/O prices to zero, reproducing §3.3's "the cost of a
+saving-read does not differ from that of a non-saving read".
+
+Write ``w_i`` with execution set ``X`` and allocation scheme ``Y`` at
+the request::
+
+    i in X:      |Y \\ X| control + (|X|-1) data + |X| io
+    i not in X:  |Y \\ X \\ {i}| control + |X| data + |X| io
+
+The control messages of a write are the ``invalidate`` messages sent to
+the processors whose copy becomes obsolete; the writer itself never
+needs an invalidation.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.model.accounting import CostBreakdown
+from repro.model.request import ExecutedRequest
+from repro.types import ProcessorSet
+
+
+def read_breakdown(
+    executed: ExecutedRequest, scheme: ProcessorSet
+) -> CostBreakdown:
+    """Breakdown of a (possibly saving) read request.
+
+    ``scheme`` is the allocation scheme at the request; it is accepted
+    for interface symmetry with :func:`write_breakdown` but the read
+    cost depends only on the execution set and the issuing processor.
+    """
+    if not executed.is_read:
+        raise ConfigurationError(f"{executed} is not a read request")
+    x_size = len(executed.execution_set)
+    if executed.processor in executed.execution_set:
+        breakdown = CostBreakdown(
+            io_ops=x_size,
+            control_messages=x_size - 1,
+            data_messages=x_size - 1,
+        )
+    else:
+        breakdown = CostBreakdown(
+            io_ops=x_size,
+            control_messages=x_size,
+            data_messages=x_size,
+        )
+    if executed.saving:
+        breakdown = breakdown + CostBreakdown(io_ops=1)
+    return breakdown
+
+
+def write_breakdown(
+    executed: ExecutedRequest, scheme: ProcessorSet
+) -> CostBreakdown:
+    """Breakdown of a write request given the scheme ``Y`` at the request."""
+    if not executed.is_write:
+        raise ConfigurationError(f"{executed} is not a write request")
+    execution_set = executed.execution_set
+    x_size = len(execution_set)
+    stale = scheme - execution_set
+    if executed.processor in execution_set:
+        return CostBreakdown(
+            io_ops=x_size,
+            control_messages=len(stale),
+            data_messages=x_size - 1,
+        )
+    return CostBreakdown(
+        io_ops=x_size,
+        control_messages=len(stale - {executed.processor}),
+        data_messages=x_size,
+    )
+
+
+def request_breakdown(
+    executed: ExecutedRequest, scheme: ProcessorSet
+) -> CostBreakdown:
+    """Breakdown of any executed request given the scheme at the request."""
+    if executed.is_read:
+        return read_breakdown(executed, scheme)
+    return write_breakdown(executed, scheme)
+
+
+def next_scheme(
+    executed: ExecutedRequest, scheme: ProcessorSet
+) -> ProcessorSet:
+    """The allocation scheme *after* executing ``executed`` on ``scheme``.
+
+    Paper §3.1 semantics:
+
+    * a write creates a new version; only the processors of its
+      execution set hold it, so the new scheme **is** the execution set;
+    * a saving-read stores the latest version at the reader, so the
+      reader joins the scheme;
+    * a non-saving read leaves the scheme unchanged.
+    """
+    if executed.is_write:
+        return executed.execution_set
+    if executed.saving:
+        return scheme | {executed.processor}
+    return scheme

@@ -1,0 +1,153 @@
+"""Schedules: finite sequences of read-write requests.
+
+Paper §3.1 example: ``psi_0 = w2 r4 w3 r1 r2`` is a schedule in which
+the first request is a write from processor 2, the second a read from
+processor 4, and so on.  :class:`Schedule` is an immutable sequence of
+:class:`~repro.model.request.Request` objects with parsing, statistics
+and slicing helpers used throughout the workload generators and
+benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import Request, RequestKind
+from repro.types import ProcessorId, ProcessorSet, processor_set
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable finite sequence of read-write requests."""
+
+    requests: tuple[Request, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        for item in self.requests:
+            if not isinstance(item, Request):
+                raise ConfigurationError(
+                    f"schedule items must be Request objects, got {item!r}"
+                )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[Request]) -> "Schedule":
+        return cls(tuple(requests))
+
+    @classmethod
+    def parse(cls, text: str) -> "Schedule":
+        """Parse a whitespace-separated schedule in the paper's notation.
+
+        >>> str(Schedule.parse("w2 r4 w3 r1 r2"))
+        'w2 r4 w3 r1 r2'
+        """
+        return cls(tuple(Request.parse(token) for token in text.split()))
+
+    # -- sequence protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Schedule(self.requests[index])
+        return self.requests[index]
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return Schedule(self.requests + other.requests)
+
+    def __mul__(self, times: int) -> "Schedule":
+        """Repeat the schedule ``times`` times (used to build the
+        arbitrarily long request sequences of the lower-bound
+        constructions)."""
+        if times < 0:
+            raise ConfigurationError("repetition count must be non-negative")
+        return Schedule(self.requests * times)
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return " ".join(str(r) for r in self.requests)
+
+    # -- statistics ------------------------------------------------------
+
+    @property
+    def processors(self) -> ProcessorSet:
+        """The set of processors issuing at least one request."""
+        return processor_set(r.processor for r in self.requests)
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for r in self.requests if r.is_read)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for r in self.requests if r.is_write)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of requests that are writes (0.0 for an empty schedule)."""
+        if not self.requests:
+            return 0.0
+        return self.write_count / len(self.requests)
+
+    def reads_by(self, processor: ProcessorId) -> int:
+        return sum(
+            1 for r in self.requests if r.is_read and r.processor == processor
+        )
+
+    def writes_by(self, processor: ProcessorId) -> int:
+        return sum(
+            1 for r in self.requests if r.is_write and r.processor == processor
+        )
+
+    def request_counts(self) -> dict[ProcessorId, dict[str, int]]:
+        """Per-processor read/write counts, e.g. for convergent baselines.
+
+        Returns a mapping ``processor -> {"reads": n, "writes": m}``.
+        """
+        counts: dict[ProcessorId, dict[str, int]] = {}
+        for request in self.requests:
+            entry = counts.setdefault(request.processor, {"reads": 0, "writes": 0})
+            key = "reads" if request.is_read else "writes"
+            entry[key] += 1
+        return counts
+
+    # -- transformations ---------------------------------------------------
+
+    def prefix(self, length: int) -> "Schedule":
+        """The first ``length`` requests of the schedule."""
+        return Schedule(self.requests[:length])
+
+    def runs(self) -> list[tuple[RequestKind, ProcessorId, int]]:
+        """Run-length encode the schedule as ``(kind, processor, count)``
+        triples — useful for human-readable summaries of long workloads."""
+        encoded: list[tuple[RequestKind, ProcessorId, int]] = []
+        for request in self.requests:
+            if (
+                encoded
+                and encoded[-1][0] is request.kind
+                and encoded[-1][1] == request.processor
+            ):
+                kind, proc, count = encoded[-1]
+                encoded[-1] = (kind, proc, count + 1)
+            else:
+                encoded.append((request.kind, request.processor, 1))
+        return encoded
+
+
+def concat(schedules: Sequence[Schedule]) -> Schedule:
+    """Concatenate several schedules into one."""
+    requests: list[Request] = []
+    for schedule in schedules:
+        requests.extend(schedule.requests)
+    return Schedule(tuple(requests))

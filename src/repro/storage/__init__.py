@@ -1,0 +1,12 @@
+"""Versioned per-processor storage: the paper's "local database"."""
+
+from repro.storage.local_db import LocalDatabase
+from repro.storage.stable_storage import StableStorage
+from repro.storage.versions import ObjectVersion, VersionCounter
+
+__all__ = [
+    "LocalDatabase",
+    "ObjectVersion",
+    "StableStorage",
+    "VersionCounter",
+]

@@ -1,0 +1,72 @@
+"""Stable storage: the crash-surviving layer under a local database.
+
+Paper §3.1: *"The local database at a processor is a set of objects
+that are written on stable storage at the processor."*  The simulator
+distinguishes stable storage (survives a processor crash) from the
+processor's volatile state (join-lists, protocol bookkeeping — lost on
+crash), which is what makes the failure-injection tests meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.exceptions import StorageError
+
+
+class StableStorage:
+    """A tiny key-value "disk" with operation counters.
+
+    Every :meth:`read` and :meth:`write` counts one I/O operation —
+    the unit the paper's cost model charges ``c_io`` for.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, Any] = {}
+        self.read_ops = 0
+        self.write_ops = 0
+
+    def write(self, key: str, value: Any) -> None:
+        """Persist ``value`` under ``key`` (one output I/O)."""
+        self._blocks[key] = value
+        self.write_ops += 1
+
+    def read(self, key: str) -> Any:
+        """Fetch the value under ``key`` (one input I/O)."""
+        if key not in self._blocks:
+            raise StorageError(f"no block {key!r} on stable storage")
+        self.read_ops += 1
+        return self._blocks[key]
+
+    def delete(self, key: str) -> None:
+        """Remove ``key``.  Deleting is bookkeeping, not a charged I/O:
+        the paper's invalidations cost only their control message."""
+        self._blocks.pop(key, None)
+
+    def contains(self, key: str) -> bool:
+        """Membership test (catalog lookup, not a charged I/O)."""
+        return key in self._blocks
+
+    def peek(self, key: str) -> Any:
+        """Uncharged read for bookkeeping and assertions in tests.
+
+        Simulation protocols must use :meth:`read` so the I/O is
+        counted; ``peek`` exists so invariant checks do not perturb the
+        counters they are checking.
+        """
+        if key not in self._blocks:
+            raise StorageError(f"no block {key!r} on stable storage")
+        return self._blocks[key]
+
+    @property
+    def io_ops(self) -> int:
+        """Total charged I/O operations."""
+        return self.read_ops + self.write_ops
+
+    def survive_crash(self) -> "StableStorage":
+        """Stable storage survives a crash unchanged — returns self.
+
+        Exists to make crash-handling code self-documenting at the
+        call site (``node.storage = node.storage.survive_crash()``).
+        """
+        return self

@@ -1,0 +1,58 @@
+"""Object versions.
+
+Paper §3.1: *"Each write request in a schedule creates a new version of
+the object.  Given a schedule, the latest version of the object at a
+request q is the version created by the most recent write request that
+precedes q."*  Versions are totally ordered by their sequence number —
+the position of the creating write in the schedule — which doubles as
+the timestamp quorum protocols compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.types import ProcessorId
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectVersion:
+    """One immutable version of the replicated object."""
+
+    number: int
+    writer: ProcessorId
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.number < 0:
+            raise ConfigurationError(
+                f"version numbers are non-negative, got {self.number}"
+            )
+
+    def newer_than(self, other: Optional["ObjectVersion"]) -> bool:
+        """True iff this version supersedes ``other`` (or other is None)."""
+        return other is None or self.number > other.number
+
+    def __str__(self) -> str:
+        return f"v{self.number}@{self.writer}"
+
+
+class VersionCounter:
+    """Monotonic version-number allocator (one per simulated object)."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ConfigurationError("version counters start at >= 0")
+        self._next = start
+
+    def next_version(self, writer: ProcessorId, payload: Any = None) -> ObjectVersion:
+        version = ObjectVersion(self._next, writer, payload)
+        self._next += 1
+        return version
+
+    @property
+    def allocated(self) -> int:
+        """How many versions have been allocated so far."""
+        return self._next

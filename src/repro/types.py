@@ -1,0 +1,28 @@
+"""Shared type aliases used across the library.
+
+The paper models a distributed system as a set of interconnected
+processors, each holding a *local database* on stable storage.  We
+identify processors by small non-negative integers throughout, matching
+the paper's notation (``r1`` is a read issued by processor 1, ``w2`` a
+write issued by processor 2, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Identifier of a processor in the distributed system.
+ProcessorId = int
+
+#: An immutable set of processors.  Used for execution sets and
+#: allocation schemes (the paper's ``X`` and ``Y``).
+ProcessorSet = FrozenSet[ProcessorId]
+
+
+def processor_set(processors) -> ProcessorSet:
+    """Normalize any iterable of processor ids into a :data:`ProcessorSet`.
+
+    >>> processor_set([2, 1, 2])
+    frozenset({1, 2})
+    """
+    return frozenset(int(p) for p in processors)

@@ -1,0 +1,17 @@
+"""Text rendering and CSV export of analysis artifacts."""
+
+from repro.viz.ascii_plot import LEGEND, REGION_CHARS, render_region_map, render_series
+from repro.viz.csv_export import region_map_to_csv, sweep_to_csv, write_csv
+from repro.viz.svg_export import region_map_to_svg, write_svg
+
+__all__ = [
+    "LEGEND",
+    "REGION_CHARS",
+    "region_map_to_csv",
+    "region_map_to_svg",
+    "render_region_map",
+    "render_series",
+    "sweep_to_csv",
+    "write_csv",
+    "write_svg",
+]

@@ -1,0 +1,88 @@
+"""ASCII rendering of region maps and series.
+
+The reproduction environment has no plotting libraries, so Figures 1
+and 2 are rendered as character grids — which is arguably closer to the
+original's hand-drawn hatching than a heat map would be.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.regions import Region, RegionMap
+from repro.exceptions import ConfigurationError
+
+#: One display character per region.
+REGION_CHARS: Mapping[Region, str] = {
+    Region.SA_SUPERIOR: "S",
+    Region.DA_SUPERIOR: "D",
+    Region.UNKNOWN: "?",
+    Region.INFEASIBLE: ".",
+}
+
+LEGEND = (
+    "S = SA superior   D = DA superior   ? = unknown   "
+    ". = cannot be true (c_c > c_d)"
+)
+
+
+def render_region_map(region_map: RegionMap, title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.analysis.regions.RegionMap` as text.
+
+    The layout matches the paper's figures: ``c_c`` on the vertical
+    axis (increasing upward), ``c_d`` on the horizontal axis.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("c_c")
+    for row in region_map.rows():
+        c_c = row[0].c_c
+        cells = "".join(
+            REGION_CHARS[point.region] + " " for point in row
+        ).rstrip()
+        lines.append(f"{c_c:5.2f} | {cells}")
+    axis = "        " + "".join(
+        f"{c_d:<6.2f}"[:2] for c_d in region_map.c_d_values
+    )
+    lines.append("       +" + "--" * len(region_map.c_d_values))
+    labels = "        " + " ".join(
+        f"{c_d:.1f}" for c_d in region_map.c_d_values
+    )
+    del axis
+    lines.append(labels + "   (c_d)")
+    lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render an (x, y) series as a crude ASCII scatter/line chart."""
+    if not series:
+        raise ConfigurationError("cannot plot an empty series")
+    xs = [x for x, _ in series]
+    ys = [y for _, y in series]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in series:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        canvas[height - 1 - row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_max:.3f}, bottom={y_min:.3f})")
+    for row_cells in canvas:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3f} .. {x_max:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""CSV export of analysis artifacts.
+
+Benchmarks can persist region maps and sweep series as CSV so the data
+behind every regenerated figure is inspectable (and re-plottable with
+external tooling).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.regions import RegionMap
+from repro.analysis.sweep import SweepResult
+
+
+def region_map_to_csv(region_map: RegionMap) -> str:
+    """Serialize a region map: one row per grid point."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["c_c", "c_d", "region", "sa_ratio", "da_ratio"])
+    for point in region_map.points:
+        writer.writerow(
+            [
+                point.c_c,
+                point.c_d,
+                point.region.value,
+                "" if point.sa_ratio is None else point.sa_ratio,
+                "" if point.da_ratio is None else point.da_ratio,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Serialize a sweep: one row per parameter value, one column per
+    algorithm's max ratio and mean cost."""
+    algorithms = result.algorithms()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    header = [result.parameter_name]
+    header += [f"{name}_max_ratio" for name in algorithms]
+    header += [f"{name}_mean_cost" for name in algorithms]
+    writer.writerow(header)
+    for row in result.rows:
+        record = [row.parameter]
+        record += [row.max_ratios[name] for name in algorithms]
+        record += [row.mean_costs[name] for name in algorithms]
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def write_csv(text: str, path: Union[str, Path]) -> None:
+    """Write CSV text to a file."""
+    Path(path).write_text(text, encoding="utf-8")

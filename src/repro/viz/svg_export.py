@@ -1,0 +1,138 @@
+"""Pure-Python SVG rendering of the region maps.
+
+No plotting libraries are available offline, so Figures 1 and 2 are
+also rendered as standalone SVG files — publication-quality vector
+output with nothing but string formatting.  The layout mirrors the
+paper: ``c_d`` rightward, ``c_c`` upward, one colored cell per grid
+point, the infeasible ``c_c > c_d`` triangle hatched.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.analysis.regions import Region, RegionMap
+from repro.exceptions import ConfigurationError
+
+#: Fill colors per region (colorblind-safe-ish).
+REGION_COLORS: Mapping[Region, str] = {
+    Region.SA_SUPERIOR: "#4477aa",
+    Region.DA_SUPERIOR: "#ee6677",
+    Region.UNKNOWN: "#cccccc",
+    Region.INFEASIBLE: "#ffffff",
+}
+
+REGION_LABELS: Mapping[Region, str] = {
+    Region.SA_SUPERIOR: "SA superior",
+    Region.DA_SUPERIOR: "DA superior",
+    Region.UNKNOWN: "Unknown",
+    Region.INFEASIBLE: "Cannot be true (c_c > c_d)",
+}
+
+_CELL = 48
+_MARGIN = 64
+_LEGEND_HEIGHT = 96
+
+
+def region_map_to_svg(region_map: RegionMap, title: str = "") -> str:
+    """Render a region map as an SVG document string."""
+    rows = region_map.rows()
+    if not rows:
+        raise ConfigurationError("cannot render an empty region map")
+    columns = len(rows[0])
+    width = _MARGIN * 2 + columns * _CELL
+    height = _MARGIN * 2 + len(rows) * _CELL + _LEGEND_HEIGHT
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<style>text{font-family:sans-serif;font-size:13px;}'
+        ".title{font-size:16px;font-weight:bold;}</style>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        '<defs><pattern id="hatch" width="6" height="6" '
+        'patternUnits="userSpaceOnUse" patternTransform="rotate(45)">'
+        '<line x1="0" y1="0" x2="0" y2="6" stroke="#bbbbbb" '
+        'stroke-width="1"/></pattern></defs>',
+    ]
+    if title:
+        parts.append(
+            f'<text class="title" x="{width / 2}" y="24" '
+            f'text-anchor="middle">{title}</text>'
+        )
+
+    # Grid cells: rows() is c_c-descending, which matches top-to-bottom.
+    for row_index, row in enumerate(rows):
+        for column_index, point in enumerate(row):
+            x = _MARGIN + column_index * _CELL
+            y = _MARGIN + row_index * _CELL
+            if point.region is Region.INFEASIBLE:
+                fill = "url(#hatch)"
+            else:
+                fill = REGION_COLORS[point.region]
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{_CELL}" height="{_CELL}" '
+                f'fill="{fill}" stroke="#888888" stroke-width="0.5">'
+                f"<title>c_c={point.c_c}, c_d={point.c_d}: "
+                f"{REGION_LABELS[point.region]}</title></rect>"
+            )
+
+    # Axis labels.
+    for column_index, c_d in enumerate(region_map.c_d_values):
+        x = _MARGIN + column_index * _CELL + _CELL / 2
+        y = _MARGIN + len(rows) * _CELL + 18
+        parts.append(
+            f'<text x="{x}" y="{y}" text-anchor="middle">{c_d:g}</text>'
+        )
+    for row_index, row in enumerate(rows):
+        x = _MARGIN - 8
+        y = _MARGIN + row_index * _CELL + _CELL / 2 + 4
+        parts.append(
+            f'<text x="{x}" y="{y}" text-anchor="end">{row[0].c_c:g}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN + columns * _CELL / 2}" '
+        f'y="{_MARGIN + len(rows) * _CELL + 40}" '
+        'text-anchor="middle">c_d (data-message cost)</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN + len(rows) * _CELL / 2}" '
+        "text-anchor='middle' transform='rotate(-90 16 "
+        f"{_MARGIN + len(rows) * _CELL / 2})'>c_c (control-message cost)"
+        "</text>"
+    )
+
+    # Legend.
+    legend_y = _MARGIN + len(rows) * _CELL + 56
+    x = _MARGIN
+    for region in (
+        Region.SA_SUPERIOR,
+        Region.DA_SUPERIOR,
+        Region.UNKNOWN,
+        Region.INFEASIBLE,
+    ):
+        fill = (
+            "url(#hatch)"
+            if region is Region.INFEASIBLE
+            else REGION_COLORS[region]
+        )
+        parts.append(
+            f'<rect x="{x}" y="{legend_y}" width="14" height="14" '
+            f'fill="{fill}" stroke="#888888" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{x + 20}" y="{legend_y + 12}">'
+            f"{REGION_LABELS[region]}</text>"
+        )
+        x += 20 + 9 * len(REGION_LABELS[region]) + 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    region_map: RegionMap,
+    path: Union[str, Path],
+    title: str = "",
+) -> None:
+    """Render and write a region map SVG."""
+    Path(path).write_text(region_map_to_svg(region_map, title), encoding="utf-8")

@@ -1,0 +1,54 @@
+"""Workload generators: random, skewed, regular, mobile and adversarial.
+
+The adversarial families (:mod:`repro.workloads.adversarial`) realize
+the paper's lower-bound constructions (Propositions 1-3); the random
+and regular generators drive the empirical region maps and the
+convergent-vs-competitive ablation.
+"""
+
+from repro.workloads.adversarial import (
+    adversarial_suite,
+    da_killer,
+    ping_pong,
+    read_mostly_bursts,
+    sa_killer,
+    single_reader_then_writer,
+)
+from repro.workloads.composite import ConcatWorkload, MixtureWorkload
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.hotspot import ReaderWriterWorkload, ZipfWorkload
+from repro.workloads.markov import MarkovWorkload
+from repro.workloads.mobility import MobileLocationWorkload, base_station_scheme
+from repro.workloads.regular import Phase, PhasedWorkload, two_phase_shift
+from repro.workloads.stats import ScheduleStats, SegmentStats, analyze, describe
+from repro.workloads.trace import dumps, load, loads, save
+from repro.workloads.uniform import UniformWorkload
+
+__all__ = [
+    "ConcatWorkload",
+    "MarkovWorkload",
+    "MixtureWorkload",
+    "MobileLocationWorkload",
+    "Phase",
+    "PhasedWorkload",
+    "ReaderWriterWorkload",
+    "ScheduleStats",
+    "SegmentStats",
+    "UniformWorkload",
+    "WorkloadGenerator",
+    "ZipfWorkload",
+    "adversarial_suite",
+    "analyze",
+    "describe",
+    "base_station_scheme",
+    "da_killer",
+    "dumps",
+    "load",
+    "loads",
+    "ping_pong",
+    "read_mostly_bursts",
+    "sa_killer",
+    "save",
+    "single_reader_then_writer",
+    "two_phase_shift",
+]

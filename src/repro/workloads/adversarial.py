@@ -1,0 +1,150 @@
+"""Adversarial schedule families realizing the paper's lower bounds.
+
+The paper's Propositions 1-3 assert the *non*-competitiveness of SA and
+DA below certain factors but omit the constructions.  This module
+provides explicit schedule families whose measured cost ratios approach
+the claimed bounds, so the benchmark harness can regenerate the
+lower-bound side of Figures 1 and 2:
+
+* :func:`sa_killer` — Proposition 1 / Proposition 3.  A processor
+  outside SA's fixed scheme issues ``k`` reads.  SA pays the remote
+  fetch ``c_c + c_io + c_d`` every time; the optimum saves once and
+  reads locally afterwards.  As ``k → ∞`` the ratio tends to
+  ``(c_c + c_io + c_d) / c_io = 1 + c_c + c_d`` in the stationary model
+  — SA's tight factor — and to infinity in the mobile model (where
+  ``c_io = 0``), proving SA non-competitive there.
+
+* :func:`da_killer` — Proposition 2.  Rounds of ``m`` distinct foreign
+  readers followed by one core write.  DA pays a saving-read (one extra
+  I/O) per foreign reader and the write invalidates all the joiners;
+  the optimum serves the one-shot readers with plain on-demand reads.
+  With small ``c_c, c_d`` the per-round ratio is
+  ``(2m + t) / (m + t)``: already above 1.5 for ``m = 2, t = 2``,
+  approaching 2 (the ``c_c → 0`` limit of DA's ``2 + 2 c_c`` upper
+  bound) as ``m`` grows.
+
+* :func:`ping_pong` — write-ownership oscillation between two
+  processors, a stress pattern for drifting-core baselines.
+
+* :func:`read_mostly_bursts` — alternating read bursts and write
+  bursts, the pattern behind the "Unknown" wedge of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+
+
+def sa_killer(
+    reader: ProcessorId,
+    repetitions: int,
+) -> Schedule:
+    """Proposition 1 / 3 family: ``repetitions`` reads by one processor.
+
+    Use a ``reader`` outside the algorithm's initial scheme.
+    """
+    if repetitions < 1:
+        raise ConfigurationError("need at least one repetition")
+    return Schedule(tuple(read(reader) for _ in range(repetitions)))
+
+
+def da_killer(
+    readers: Sequence[ProcessorId],
+    writer: ProcessorId,
+    rounds: int,
+) -> Schedule:
+    """Proposition 2 family: rounds of distinct foreign reads, then a write.
+
+    ``readers`` should be outside DA's initial scheme and ``writer``
+    inside it (a core write keeps DA's scheme minimal while evicting
+    every joiner).
+    """
+    if rounds < 1:
+        raise ConfigurationError("need at least one round")
+    if not readers:
+        raise ConfigurationError("need at least one reader")
+    if writer in readers:
+        raise ConfigurationError("the writer must not be one of the readers")
+    requests = []
+    for _ in range(rounds):
+        for reader in readers:
+            requests.append(read(reader))
+        requests.append(write(writer))
+    return Schedule(tuple(requests))
+
+
+def ping_pong(
+    first: ProcessorId,
+    second: ProcessorId,
+    rounds: int,
+    reads_per_turn: int = 1,
+) -> Schedule:
+    """Ownership oscillation: each side writes, then reads a few times."""
+    if first == second:
+        raise ConfigurationError("ping-pong needs two distinct processors")
+    if rounds < 1:
+        raise ConfigurationError("need at least one round")
+    requests = []
+    for _ in range(rounds):
+        for processor in (first, second):
+            requests.append(write(processor))
+            requests.extend(read(processor) for _ in range(reads_per_turn))
+    return Schedule(tuple(requests))
+
+
+def read_mostly_bursts(
+    readers: Sequence[ProcessorId],
+    writer: ProcessorId,
+    burst_length: int,
+    rounds: int,
+) -> Schedule:
+    """Alternate ``burst_length`` reads (round-robin over ``readers``)
+    with a single write — the regime where the SA/DA crossover lives."""
+    if burst_length < 1 or rounds < 1:
+        raise ConfigurationError("burst_length and rounds must be positive")
+    if not readers:
+        raise ConfigurationError("need at least one reader")
+    requests = []
+    for _ in range(rounds):
+        for position in range(burst_length):
+            requests.append(read(readers[position % len(readers)]))
+        requests.append(write(writer))
+    return Schedule(tuple(requests))
+
+
+def single_reader_then_writer(
+    reader: ProcessorId, writer: ProcessorId, rounds: int
+) -> Schedule:
+    """The tightest small DA stress: one foreign read, one write, repeated."""
+    return da_killer([reader], writer, rounds)
+
+
+def adversarial_suite(
+    scheme: Iterable[ProcessorId],
+    outsiders: Sequence[ProcessorId],
+    rounds: int = 8,
+) -> list[Schedule]:
+    """A mixed suite of the families above, parameterized by the
+    algorithm's initial scheme and a few processors outside it.
+
+    Used by the region-map benchmarks to estimate worst-case behaviour
+    at each ``(c_c, c_d)`` grid point.
+    """
+    scheme = sorted(scheme)
+    if len(outsiders) < 2:
+        raise ConfigurationError("need at least two outsiders")
+    core_writer = scheme[0]
+    suite = [
+        sa_killer(outsiders[0], rounds * 4),
+        da_killer(list(outsiders[:2]), core_writer, rounds),
+        da_killer(list(outsiders), core_writer, rounds),
+        single_reader_then_writer(outsiders[0], core_writer, rounds * 2),
+        ping_pong(scheme[0], outsiders[0], rounds),
+        read_mostly_bursts(list(outsiders), core_writer, 6, rounds),
+    ]
+    return suite

@@ -1,0 +1,96 @@
+"""Composite workloads: mixtures and concatenations of generators.
+
+Real traces are rarely one clean distribution; the benchmark suites
+want "mostly uniform with adversarial bursts" or "regular, then
+chaotic" without hand-rolling the plumbing every time.
+
+* :class:`MixtureWorkload` — each request drawn from one of several
+  generators with given weights (the generators contribute *patterns*;
+  the mixture interleaves them request-by-request via pre-generated
+  pools);
+* :class:`ConcatWorkload` — phases of entirely different generators,
+  back to back (regular -> chaotic regime switches, §5.1's stress).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.model.schedule import Schedule
+from repro.workloads.generator import WorkloadGenerator
+
+
+class MixtureWorkload(WorkloadGenerator):
+    """Request-level mixture of several generators."""
+
+    def __init__(
+        self,
+        components: Sequence[WorkloadGenerator],
+        weights: Sequence[float],
+        length: int,
+    ) -> None:
+        if not components:
+            raise ConfigurationError("a mixture needs at least one component")
+        if len(weights) != len(components):
+            raise ConfigurationError(
+                f"{len(components)} components but {len(weights)} weights"
+            )
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise ConfigurationError("weights must be non-negative, sum > 0")
+        processors: set = set()
+        for component in components:
+            processors |= set(component.processors)
+        super().__init__(processors, length)
+        self.components = tuple(components)
+        self.weights = tuple(weights)
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        # Pre-generate one pool per component (independent sub-seeds),
+        # then draw requests from the pools in mixture proportion —
+        # each component's internal structure (bursts, phases) survives
+        # within its own subsequence.
+        pools = [
+            list(component.generate(seed * 31 + index + 1))
+            for index, component in enumerate(self.components)
+        ]
+        positions = [0] * len(pools)
+        requests = []
+        indices = list(range(len(pools)))
+        for _ in range(self.length):
+            live = [
+                index for index in indices
+                if positions[index] < len(pools[index])
+            ]
+            if not live:
+                break
+            weights = [self.weights[index] for index in live]
+            chosen = rng.choices(live, weights=weights, k=1)[0]
+            requests.append(pools[chosen][positions[chosen]])
+            positions[chosen] += 1
+        return Schedule(tuple(requests))
+
+
+class ConcatWorkload(WorkloadGenerator):
+    """Generators run back to back (regime switches)."""
+
+    def __init__(self, components: Sequence[WorkloadGenerator]) -> None:
+        if not components:
+            raise ConfigurationError(
+                "a concatenation needs at least one component"
+            )
+        processors: set = set()
+        for component in components:
+            processors |= set(component.processors)
+        super().__init__(
+            processors, sum(component.length for component in components)
+        )
+        self.components = tuple(components)
+
+    def generate(self, seed: int = 0) -> Schedule:
+        requests = []
+        for index, component in enumerate(self.components):
+            requests.extend(component.generate(seed * 31 + index + 1))
+        return Schedule(tuple(requests))

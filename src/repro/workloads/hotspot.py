@@ -1,0 +1,100 @@
+"""Skewed (hotspot / Zipf) workloads.
+
+Real access patterns are rarely uniform: the paper's motivating
+examples (electronic publishing, financial instruments, X-ray
+annotation) have a few heavy writers and many light readers.  Two
+generators:
+
+* :class:`ZipfWorkload` — request issuers follow a Zipf distribution
+  with configurable exponent;
+* :class:`ReaderWriterWorkload` — disjoint reader and writer
+  populations with independent rates, modelling e.g. a document
+  co-authored by a few and read by many (paper §1.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    random_request,
+    validate_write_fraction,
+    weighted_choice,
+)
+
+
+class ZipfWorkload(WorkloadGenerator):
+    """Issuers drawn from a Zipf distribution over the processors."""
+
+    def __init__(
+        self,
+        processors: Iterable[ProcessorId],
+        length: int,
+        write_fraction: float = 0.2,
+        exponent: float = 1.0,
+    ) -> None:
+        super().__init__(processors, length)
+        self.write_fraction = validate_write_fraction(write_fraction)
+        if exponent < 0:
+            raise ConfigurationError(
+                f"zipf exponent must be non-negative, got {exponent}"
+            )
+        self.exponent = exponent
+        self._weights = [
+            1.0 / (rank ** exponent) for rank in range(1, len(self.processors) + 1)
+        ]
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        requests = tuple(
+            random_request(
+                rng,
+                weighted_choice(rng, self.processors, self._weights),
+                self.write_fraction,
+            )
+            for _ in range(self.length)
+        )
+        return Schedule(requests)
+
+
+class ReaderWriterWorkload(WorkloadGenerator):
+    """Disjoint reader and writer populations.
+
+    Each request is a write with probability ``write_fraction``, issued
+    by a uniformly random member of ``writers``; otherwise it is a read
+    by a uniformly random member of ``readers``.
+    """
+
+    def __init__(
+        self,
+        readers: Iterable[ProcessorId],
+        writers: Iterable[ProcessorId],
+        length: int,
+        write_fraction: float = 0.2,
+    ) -> None:
+        readers = tuple(sorted(set(readers)))
+        writers = tuple(sorted(set(writers)))
+        if not readers or not writers:
+            raise ConfigurationError(
+                "reader and writer populations must both be non-empty"
+            )
+        super().__init__(readers + writers, length)
+        self.readers = readers
+        self.writers = writers
+        self.write_fraction = validate_write_fraction(write_fraction)
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        requests = []
+        for _ in range(self.length):
+            if rng.random() < self.write_fraction:
+                requests.append(write(rng.choice(self.writers)))
+            else:
+                requests.append(read(rng.choice(self.readers)))
+        return Schedule(tuple(requests))

@@ -1,0 +1,82 @@
+"""Markov-modulated (bursty) workloads.
+
+Between the i.i.d. uniform workload and the fully regular phased
+workload sits the bursty middle ground real systems exhibit: activity
+clusters at one processor for a while, then hops.  A two-level Markov
+model captures it:
+
+* an *owner* chain: the currently hot processor, which at each step
+  stays hot with probability ``stickiness`` or hands off to a uniformly
+  random other processor;
+* a *request* layer: each request comes from the hot processor with
+  probability ``locality`` (else a uniformly random processor) and is a
+  write with probability ``write_fraction``.
+
+With ``stickiness → 1`` and ``locality → 1`` this degenerates to the
+regular pattern convergent algorithms love; with ``locality → 0`` it is
+the uniform chaos competitive algorithms are built for — one knob to
+sweep between the two regimes of paper §5.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    random_request,
+    validate_write_fraction,
+)
+
+
+class MarkovWorkload(WorkloadGenerator):
+    """Bursty ownership-hopping workload."""
+
+    def __init__(
+        self,
+        processors: Iterable[ProcessorId],
+        length: int,
+        write_fraction: float = 0.2,
+        stickiness: float = 0.95,
+        locality: float = 0.8,
+    ) -> None:
+        super().__init__(processors, length)
+        self.write_fraction = validate_write_fraction(write_fraction)
+        for name, value in (("stickiness", stickiness), ("locality", locality)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        self.stickiness = stickiness
+        self.locality = locality
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        hot = rng.choice(self.processors)
+        requests = []
+        for _ in range(self.length):
+            if len(self.processors) > 1 and rng.random() > self.stickiness:
+                hot = rng.choice(
+                    [p for p in self.processors if p != hot]
+                )
+            if rng.random() < self.locality:
+                issuer = hot
+            else:
+                issuer = rng.choice(self.processors)
+            requests.append(random_request(rng, issuer, self.write_fraction))
+        return Schedule(tuple(requests))
+
+    def burstiness(self, seed: int = 0) -> float:
+        """Fraction of consecutive request pairs issued by the same
+        processor — a quick empirical locality measure for tests."""
+        schedule = self.generate(seed)
+        if len(schedule) < 2:
+            return 0.0
+        same = sum(
+            1
+            for a, b in zip(schedule, schedule[1:])
+            if a.processor == b.processor
+        )
+        return same / (len(schedule) - 1)

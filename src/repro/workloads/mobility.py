@@ -1,0 +1,94 @@
+"""Mobile-computing workloads: location objects under user mobility.
+
+Paper §1.1: *"in the mobile communication environments of the future an
+identification will be associated with a user, rather than with a
+physical location ... The location of the user will be updated as a
+result of the user's mobility, and it will be read on behalf of the
+callers."*
+
+:class:`MobileLocationWorkload` models exactly this: the tracked object
+is one user's location record.
+
+* The user performs a random walk over cells; each *move* issues a
+  write from the processor of the cell the user moved into (the mobile
+  host reports its new location there).
+* *Calls* arrive from uniformly random caller processors; each call
+  issues a read of the location record.
+
+The base-station deployment of paper §2 ("a natural choice for t is 2,
+with F consisting of the base-station processor") is captured by
+:func:`base_station_scheme`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId, ProcessorSet, processor_set
+from repro.workloads.generator import WorkloadGenerator
+
+
+class MobileLocationWorkload(WorkloadGenerator):
+    """Reads by callers, writes by the cell the mobile user occupies."""
+
+    def __init__(
+        self,
+        cells: Iterable[ProcessorId],
+        callers: Iterable[ProcessorId],
+        length: int,
+        move_probability: float = 0.2,
+        start_cell: Optional[ProcessorId] = None,
+    ) -> None:
+        cells = tuple(sorted(set(cells)))
+        callers = tuple(sorted(set(callers)))
+        if not cells:
+            raise ConfigurationError("need at least one cell")
+        if not callers:
+            raise ConfigurationError("need at least one caller")
+        super().__init__(cells + callers, length)
+        if not 0.0 <= move_probability <= 1.0:
+            raise ConfigurationError(
+                f"move_probability must be in [0, 1], got {move_probability}"
+            )
+        if start_cell is None:
+            start_cell = cells[0]
+        if start_cell not in cells:
+            raise ConfigurationError(f"start cell {start_cell} is not a cell")
+        self.cells = cells
+        self.callers = callers
+        self.move_probability = move_probability
+        self.start_cell = start_cell
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        current = self.start_cell
+        requests = []
+        for _ in range(self.length):
+            if rng.random() < self.move_probability and len(self.cells) > 1:
+                # The user moves; the new cell's processor updates the
+                # location record.
+                candidates = [cell for cell in self.cells if cell != current]
+                current = rng.choice(candidates)
+                requests.append(write(current))
+            else:
+                requests.append(read(rng.choice(self.callers)))
+        return Schedule(tuple(requests))
+
+
+def base_station_scheme(
+    base_station: ProcessorId, mobile_host: ProcessorId
+) -> ProcessorSet:
+    """The paper's natural mobile deployment: ``t = 2`` with
+    ``F = {base_station}`` and the mobile host as DA's processor ``p``.
+
+    Use with ``DynamicAllocation(scheme, primary=mobile_host)``.
+    """
+    if base_station == mobile_host:
+        raise ConfigurationError(
+            "the base station and the mobile host must differ"
+        )
+    return processor_set([base_station, mobile_host])

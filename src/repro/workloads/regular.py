@@ -1,0 +1,106 @@
+"""Regular (phase-structured) workloads.
+
+Paper §5.1 describes *regular* access patterns: "during the first two
+hours processor x executes three reads and one write per second,
+processor y executes five reads and two writes per second, etc.; during
+the next four hour period [the rates change]".  Convergent algorithms
+shine on such patterns; competitive algorithms are built for the
+chaotic case.  :class:`PhasedWorkload` reproduces exactly this phase
+structure so the convergent-vs-competitive ablation can be run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+from repro.workloads.generator import WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stable period of the access pattern.
+
+    ``read_rates`` / ``write_rates`` map processors to relative rates;
+    ``length`` is the number of requests drawn from this phase.
+    """
+
+    read_rates: dict[ProcessorId, float]
+    write_rates: dict[ProcessorId, float]
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ConfigurationError("phase length must be non-negative")
+        total = sum(self.read_rates.values()) + sum(self.write_rates.values())
+        if self.length > 0 and total <= 0:
+            raise ConfigurationError("a non-empty phase needs positive rates")
+        for rates in (self.read_rates, self.write_rates):
+            for processor, rate in rates.items():
+                if rate < 0:
+                    raise ConfigurationError(
+                        f"negative rate {rate} for processor {processor}"
+                    )
+
+    @property
+    def processors(self) -> frozenset:
+        return frozenset(self.read_rates) | frozenset(self.write_rates)
+
+
+class PhasedWorkload(WorkloadGenerator):
+    """Concatenation of stable phases (the regular pattern of §5.1)."""
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise ConfigurationError("at least one phase is required")
+        processors: set[ProcessorId] = set()
+        for phase in phases:
+            processors |= phase.processors
+        super().__init__(processors, sum(phase.length for phase in phases))
+        self.phases = tuple(phases)
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        requests = []
+        for phase in self.phases:
+            choices = []
+            weights = []
+            for processor, rate in sorted(phase.read_rates.items()):
+                if rate > 0:
+                    choices.append(read(processor))
+                    weights.append(rate)
+            for processor, rate in sorted(phase.write_rates.items()):
+                if rate > 0:
+                    choices.append(write(processor))
+                    weights.append(rate)
+            for _ in range(phase.length):
+                requests.append(
+                    rng.choices(choices, weights=weights, k=1)[0]
+                )
+        return Schedule(tuple(requests))
+
+
+def two_phase_shift(
+    first_heavy: ProcessorId,
+    second_heavy: ProcessorId,
+    others: Iterable[ProcessorId],
+    phase_length: int = 200,
+    write_share: float = 0.2,
+) -> PhasedWorkload:
+    """A canonical regular pattern: activity concentrated at one
+    processor, then shifting to another (paper §5.1's example shape)."""
+    others = tuple(others)
+    background = {processor: 0.2 for processor in others}
+
+    def phase_for(heavy: ProcessorId) -> Phase:
+        reads = dict(background)
+        reads[heavy] = 5.0
+        writes = {heavy: 5.0 * write_share / max(1e-9, 1 - write_share)}
+        return Phase(reads, writes, phase_length)
+
+    return PhasedWorkload([phase_for(first_heavy), phase_for(second_heavy)])

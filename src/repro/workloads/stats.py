@@ -1,0 +1,145 @@
+"""Schedule statistics: the quantities the cost analysis turns on.
+
+DA's cost on a schedule is governed by a few structural numbers — how
+many *distinct* foreign readers appear between consecutive writes (each
+costs a saving-read and a later invalidation), how long read runs are
+(each repeat read amortizes the save), how local the issuer sequence is.
+This module measures them, both to characterize generated workloads in
+benchmark output and to predict which algorithm a trace favours before
+running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """One write-free segment (the reads between consecutive writes)."""
+
+    length: int
+    distinct_readers: int
+    repeat_reads: int
+
+    @property
+    def repeat_fraction(self) -> float:
+        """Fraction of the segment's reads that re-read a processor's
+        earlier fetch — the reads DA turns into local hits."""
+        if self.length == 0:
+            return 0.0
+        return self.repeat_reads / self.length
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate structure of one schedule."""
+
+    length: int
+    write_count: int
+    read_count: int
+    distinct_processors: int
+    segments: tuple[SegmentStats, ...]
+    locality: float
+
+    @property
+    def write_fraction(self) -> float:
+        return self.write_count / self.length if self.length else 0.0
+
+    @property
+    def mean_segment_length(self) -> float:
+        if not self.segments:
+            return 0.0
+        return sum(s.length for s in self.segments) / len(self.segments)
+
+    @property
+    def mean_distinct_readers(self) -> float:
+        """Average distinct readers per segment — the per-write join
+        churn DA pays for (Proposition 2's knob)."""
+        if not self.segments:
+            return 0.0
+        return sum(s.distinct_readers for s in self.segments) / len(
+            self.segments
+        )
+
+    @property
+    def repeat_read_fraction(self) -> float:
+        """Fraction of all reads that are repeats within their segment —
+        the reads DA serves locally after the save."""
+        total_reads = sum(s.length for s in self.segments)
+        if total_reads == 0:
+            return 0.0
+        return sum(s.repeat_reads for s in self.segments) / total_reads
+
+
+def analyze(schedule: Schedule) -> ScheduleStats:
+    """Compute the structural statistics of a schedule."""
+    segments: List[SegmentStats] = []
+    readers: set[ProcessorId] = set()
+    segment_reads = 0
+    repeats = 0
+    same_issuer_pairs = 0
+    previous: ProcessorId | None = None
+
+    def close_segment() -> None:
+        nonlocal readers, segment_reads, repeats
+        segments.append(
+            SegmentStats(segment_reads, len(readers), repeats)
+        )
+        readers = set()
+        segment_reads = 0
+        repeats = 0
+
+    for request in schedule:
+        if previous is not None and request.processor == previous:
+            same_issuer_pairs += 1
+        previous = request.processor
+        if request.is_read:
+            segment_reads += 1
+            if request.processor in readers:
+                repeats += 1
+            else:
+                readers.add(request.processor)
+        else:
+            close_segment()
+    close_segment()
+
+    locality = (
+        same_issuer_pairs / (len(schedule) - 1) if len(schedule) > 1 else 0.0
+    )
+    return ScheduleStats(
+        length=len(schedule),
+        write_count=schedule.write_count,
+        read_count=schedule.read_count,
+        distinct_processors=len(schedule.processors),
+        segments=tuple(segments),
+        locality=locality,
+    )
+
+
+def describe(schedule: Schedule) -> str:
+    """A one-paragraph human-readable summary of a schedule's shape."""
+    stats = analyze(schedule)
+    if stats.length == 0:
+        return "empty schedule"
+    lines = [
+        f"{stats.length} requests over {stats.distinct_processors} "
+        f"processors: {stats.read_count} reads, {stats.write_count} writes "
+        f"(write fraction {stats.write_fraction:.2f})",
+        f"write-free segments: {len(stats.segments)}, mean length "
+        f"{stats.mean_segment_length:.1f}, mean distinct readers "
+        f"{stats.mean_distinct_readers:.1f}",
+        f"repeat-read fraction {stats.repeat_read_fraction:.2f}, "
+        f"issuer locality {stats.locality:.2f}",
+    ]
+    hint = (
+        "repeat-heavy segments favour DA (saves amortize)"
+        if stats.repeat_read_fraction > 0.5
+        else "one-shot readers dominate: saving-reads risk being wasted"
+    )
+    lines.append(hint)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Schedule (de)serialization: save and replay workload traces.
+
+Traces use the paper's own notation, one request per line or
+whitespace-separated (``r1 w2 r4 ...``), with ``#`` comments — so a
+trace file is also human-readable documentation of a workload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ConfigurationError
+from repro.model.request import Request
+from repro.model.schedule import Schedule
+
+
+def dumps(schedule: Schedule, per_line: int = 20) -> str:
+    """Serialize a schedule to trace text, ``per_line`` tokens per line."""
+    if per_line < 1:
+        raise ConfigurationError("per_line must be positive")
+    tokens = [str(request) for request in schedule]
+    lines = [
+        " ".join(tokens[start:start + per_line])
+        for start in range(0, len(tokens), per_line)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads(text: str) -> Schedule:
+    """Parse trace text: whitespace-separated tokens, ``#`` comments."""
+    requests = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for token in line.split():
+            requests.append(Request.parse(token))
+    return Schedule(tuple(requests))
+
+
+def save(schedule: Schedule, path: Union[str, Path]) -> None:
+    """Write a schedule to a trace file."""
+    Path(path).write_text(dumps(schedule), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> Schedule:
+    """Read a schedule from a trace file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

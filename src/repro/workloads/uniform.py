@@ -1,0 +1,44 @@
+"""Uniformly random workloads.
+
+The simplest "chaotic" access pattern of the paper's §5.1 discussion:
+every request is issued by a uniformly random processor and is a write
+with a fixed probability.  Uniform workloads are the backbone of the
+empirical region maps (Figures 1 and 2): they exercise both algorithms
+without favouring either by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.model.schedule import Schedule
+from repro.types import ProcessorId
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    random_request,
+    validate_write_fraction,
+)
+
+
+class UniformWorkload(WorkloadGenerator):
+    """Uniformly random issuer, fixed write fraction."""
+
+    def __init__(
+        self,
+        processors: Iterable[ProcessorId],
+        length: int,
+        write_fraction: float = 0.2,
+    ) -> None:
+        super().__init__(processors, length)
+        self.write_fraction = validate_write_fraction(write_fraction)
+
+    def generate(self, seed: int = 0) -> Schedule:
+        rng = random.Random(seed)
+        requests = tuple(
+            random_request(
+                rng, rng.choice(self.processors), self.write_fraction
+            )
+            for _ in range(self.length)
+        )
+        return Schedule(requests)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Schedule, mobile, stationary
+
+
+@pytest.fixture
+def sc_model():
+    """A representative stationary cost model (c_io=1)."""
+    return stationary(c_c=0.2, c_d=1.5)
+
+
+@pytest.fixture
+def cheap_sc_model():
+    """A stationary model in SA's superiority region (c_c + c_d < 0.5)."""
+    return stationary(c_c=0.1, c_d=0.2)
+
+
+@pytest.fixture
+def mc_model():
+    """A representative mobile cost model (c_io=0)."""
+    return mobile(c_c=0.5, c_d=2.0)
+
+
+@pytest.fixture
+def paper_schedule():
+    """psi_0 = w2 r4 w3 r1 r2, the running example of paper §3.1."""
+    return Schedule.parse("w2 r4 w3 r1 r2")
+
+
+@pytest.fixture
+def intro_schedule():
+    """r1 r1 r2 w2 r2 r2 r2, the motivating example of paper §1.3."""
+    return Schedule.parse("r1 r1 r2 w2 r2 r2 r2")
+
+
+@pytest.fixture
+def small_scheme():
+    """A t=2 initial allocation scheme."""
+    return frozenset({1, 2})

@@ -1,0 +1,88 @@
+"""Integration tests for the mobile base-station deployment (paper §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.protocols.base_station import BaseStationDeployment
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import mobile
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+from repro.workloads.mobility import MobileLocationWorkload
+
+
+def make_deployment():
+    return BaseStationDeployment(base_station=0, mobile_hosts=[1, 2, 3])
+
+
+class TestTopology:
+    def test_core_is_the_base_station(self):
+        deployment = make_deployment()
+        assert deployment.protocol.core == frozenset({0})
+        assert deployment.protocol.primary == deployment.primary_host == 1
+
+    def test_base_station_cannot_be_mobile(self):
+        with pytest.raises(ConfigurationError):
+            BaseStationDeployment(base_station=1, mobile_hosts=[1, 2])
+
+    def test_needs_mobile_hosts(self):
+        with pytest.raises(ConfigurationError):
+            BaseStationDeployment(base_station=0, mobile_hosts=[])
+
+
+class TestPaperScenario:
+    def test_mobile_write_propagates_to_base_station(self):
+        # "each write from a mobile processor will be performed locally,
+        # as well as propagated to the base-station"
+        deployment = make_deployment()
+        deployment.run(Schedule((write(2),)))
+        network = deployment.network
+        assert network.node(2).holds_valid_copy
+        assert network.node(0).holds_valid_copy
+
+    def test_base_station_invalidates_other_mobiles(self):
+        # "The base station will invalidate the copies at all the other
+        # mobile processors."
+        deployment = make_deployment()
+        deployment.run(Schedule.parse("r2 r3 w1"))
+        network = deployment.network
+        assert not network.node(2).holds_valid_copy
+        assert not network.node(3).holds_valid_copy
+        assert network.node(0).holds_valid_copy
+
+    def test_caller_reads_are_saving_reads_at_the_station(self):
+        deployment = make_deployment()
+        deployment.run(Schedule((read(3),)))
+        assert deployment.network.node(3).holds_valid_copy
+        assert 3 in deployment.protocol.recorded_holders()
+
+
+class TestBilling:
+    def test_bill_counts_messages_only(self):
+        deployment = make_deployment()
+        deployment.run(Schedule.parse("r2 w1 r3"))
+        bill = deployment.bill(mobile(0.5, 2.0))
+        stats = deployment.network.stats
+        assert bill.control_messages == stats.control_messages
+        assert bill.data_messages == stats.data_messages
+        assert bill.total_charge == pytest.approx(
+            0.5 * stats.control_messages + 2.0 * stats.data_messages
+        )
+
+    def test_local_reads_cost_nothing(self):
+        deployment = make_deployment()
+        deployment.run(Schedule.parse("r1 r1 r1"))
+        bill = deployment.bill()
+        assert bill.total_messages == 0
+        assert bill.total_charge == 0.0
+
+    def test_mobility_workload_end_to_end(self):
+        deployment = BaseStationDeployment(base_station=0, mobile_hosts=[1, 2, 3])
+        workload = MobileLocationWorkload(
+            cells=[1, 2, 3], callers=[2, 3], length=40, move_probability=0.25
+        )
+        stats = deployment.run(workload.generate(3))
+        assert stats.requests_completed == 40
+        bill = deployment.bill(mobile(0.2, 1.0))
+        assert bill.total_charge > 0

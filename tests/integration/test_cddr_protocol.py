@@ -1,0 +1,82 @@
+"""Integration: the ski-rental protocol matches its model baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cddr import SkiRentalReplication
+from repro.distsim.protocols.cddr_protocol import SkiRentalProtocol
+from repro.distsim.runner import build_network, compare_with_model, mismatches
+from repro.exceptions import ProtocolError
+from repro.model.schedule import Schedule
+from repro.workloads.uniform import UniformWorkload
+
+SCHEME = frozenset({1, 2})
+
+
+class TestModelAgreement:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "r5",
+            "r5 r5 r5",
+            "r5 w1 r5 r5",
+            "r5 r6 r5 r6 w1 r5 r5 w6 r6",
+            "w2 r4 w3 r1 r2",
+        ],
+    )
+    @pytest.mark.parametrize("rent_limit", [1, 2, 3])
+    def test_per_request_counts_match(self, text, rent_limit):
+        schedule = Schedule.parse(text)
+        network = build_network(set(schedule.processors) | SCHEME)
+        protocol = SkiRentalProtocol(
+            network, SCHEME, rent_limit=rent_limit, primary=2
+        )
+        algorithm = SkiRentalReplication(
+            SCHEME, rent_limit=rent_limit, primary=2
+        )
+        comparisons = compare_with_model(protocol, algorithm, schedule)
+        assert mismatches(comparisons) == []
+
+    def test_random_workload_agreement(self):
+        schedule = UniformWorkload(range(1, 7), 80, 0.25).generate(31)
+        network = build_network(set(schedule.processors) | SCHEME)
+        protocol = SkiRentalProtocol(network, SCHEME, rent_limit=2, primary=2)
+        algorithm = SkiRentalReplication(SCHEME, rent_limit=2, primary=2)
+        comparisons = compare_with_model(protocol, algorithm, schedule)
+        assert mismatches(comparisons) == []
+
+
+class TestBehaviour:
+    def test_first_read_rents(self):
+        network = build_network({1, 2, 5})
+        protocol = SkiRentalProtocol(network, SCHEME, rent_limit=2, primary=2)
+        protocol.execute(Schedule.parse("r5"))
+        assert not network.node(5).holds_valid_copy
+
+    def test_second_read_buys(self):
+        network = build_network({1, 2, 5})
+        protocol = SkiRentalProtocol(network, SCHEME, rent_limit=2, primary=2)
+        protocol.execute(Schedule.parse("r5 r5"))
+        assert network.node(5).holds_valid_copy
+        assert 5 in protocol.recorded_holders()
+
+    def test_write_resets_rentals(self):
+        network = build_network({1, 2, 5})
+        protocol = SkiRentalProtocol(network, SCHEME, rent_limit=2, primary=2)
+        protocol.execute(Schedule.parse("r5 w1 r5"))
+        # The pre-write rental does not carry over: still renting.
+        assert not network.node(5).holds_valid_copy
+
+    def test_rejects_zero_rent_limit(self):
+        network = build_network({1, 2, 5})
+        with pytest.raises(ProtocolError):
+            SkiRentalProtocol(network, SCHEME, rent_limit=0)
+
+    def test_rentals_live_in_volatile_state(self):
+        # A server crash forgets who was renting — by design.
+        network = build_network({1, 2, 5})
+        protocol = SkiRentalProtocol(network, SCHEME, rent_limit=2, primary=2)
+        protocol.execute(Schedule.parse("r5"))
+        server = network.node(protocol.server)
+        assert server.volatile["rental_counters"] == {5: 1}

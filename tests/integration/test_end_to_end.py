@@ -1,0 +1,115 @@
+"""End-to-end integration: the paper's headline claims, measured.
+
+Each test here reproduces one qualitative result of the paper on real
+workloads, with the exact offline optimum as the yardstick — the
+miniature versions of the benchmark harness's experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import da_competitive_factor, sa_competitive_factor
+from repro.core.competitive import CompetitivenessHarness
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import mobile, stationary
+from repro.model.schedule import Schedule
+from repro.workloads.adversarial import adversarial_suite
+from repro.workloads.uniform import UniformWorkload
+
+
+def mixed_suite(seed=0):
+    suite = adversarial_suite({1, 2}, [5, 6, 7], rounds=4)
+    suite += UniformWorkload(range(1, 8), 24, 0.3).batch(3, seed=seed)
+    return suite
+
+
+class TestTheoremBoundsHold:
+    @pytest.mark.parametrize(
+        "c_c,c_d", [(0.0, 0.0), (0.1, 0.3), (0.3, 1.2), (1.0, 2.0)]
+    )
+    def test_sa_within_theorem_1(self, c_c, c_d):
+        model = stationary(c_c, c_d)
+        harness = CompetitivenessHarness(model)
+        report = harness.measure(
+            lambda: StaticAllocation({1, 2}), mixed_suite()
+        )
+        assert report.within(sa_competitive_factor(model))
+
+    @pytest.mark.parametrize(
+        "c_c,c_d", [(0.0, 0.0), (0.1, 0.3), (0.3, 1.2), (1.0, 2.0)]
+    )
+    def test_da_within_theorems_2_and_3(self, c_c, c_d):
+        model = stationary(c_c, c_d)
+        harness = CompetitivenessHarness(model)
+        report = harness.measure(
+            lambda: DynamicAllocation({1, 2}, primary=2), mixed_suite()
+        )
+        assert report.within(da_competitive_factor(model))
+
+    @pytest.mark.parametrize("c_c,c_d", [(0.2, 1.0), (0.5, 2.0), (1.0, 1.0)])
+    def test_da_within_theorem_4_mobile(self, c_c, c_d):
+        model = mobile(c_c, c_d)
+        harness = CompetitivenessHarness(model)
+        report = harness.measure(
+            lambda: DynamicAllocation({1, 2}, primary=2), mixed_suite()
+        )
+        assert report.within(da_competitive_factor(model))
+        assert report.max_ratio <= 5.0 + 1e-9
+
+
+class TestSuperiorityClaims:
+    def test_da_beats_sa_when_cd_above_one(self):
+        model = stationary(0.2, 1.5)
+        harness = CompetitivenessHarness(model)
+        suite = mixed_suite()
+        sa = harness.measure(lambda: StaticAllocation({1, 2}), suite)
+        da = harness.measure(lambda: DynamicAllocation({1, 2}, primary=2), suite)
+        assert da.max_ratio < sa.max_ratio
+
+    def test_sa_beats_da_when_costs_tiny(self):
+        model = stationary(0.05, 0.1)
+        harness = CompetitivenessHarness(model)
+        suite = mixed_suite()
+        sa = harness.measure(lambda: StaticAllocation({1, 2}), suite)
+        da = harness.measure(lambda: DynamicAllocation({1, 2}, primary=2), suite)
+        assert sa.max_ratio < da.max_ratio
+
+    def test_mobile_da_strictly_superior(self):
+        model = mobile(0.5, 2.0)
+        harness = CompetitivenessHarness(model)
+        suite = mixed_suite()
+        sa = harness.measure(lambda: StaticAllocation({1, 2}), suite)
+        da = harness.measure(lambda: DynamicAllocation({1, 2}, primary=2), suite)
+        assert da.max_ratio < sa.max_ratio
+        assert da.max_ratio <= 5.0 + 1e-9
+
+
+class TestIntroductionExample:
+    def test_dynamic_beats_static_on_the_intro_schedule(self):
+        # §1.3's r1 r1 r2 w2 r2 r2 r2, adapted to t = 2 (the paper's
+        # single-copy example predates its own availability constraint):
+        # reads concentrate at 2 after w2, so moving the scheme wins.
+        model = stationary(0.2, 1.5)
+        schedule = Schedule.parse("r1 r1 r2 w2 r2 r2 r2")
+        sa = StaticAllocation({1, 3})
+        da = DynamicAllocation({1, 3}, primary=1)
+        sa_cost = model.schedule_cost(sa.run(schedule))
+        da_cost = model.schedule_cost(da.run(schedule))
+        assert da_cost < sa_cost
+
+
+class TestThresholdIndependence:
+    @pytest.mark.parametrize("t", [2, 3, 4])
+    def test_bounds_hold_for_any_t(self, t):
+        # §2: "these competitiveness factors are independent of the
+        # integer t".
+        model = stationary(0.2, 1.5)
+        scheme = frozenset(range(1, t + 1))
+        harness = CompetitivenessHarness(model, threshold=t)
+        suite = adversarial_suite(scheme, [8, 9], rounds=3)
+        sa = harness.measure(lambda: StaticAllocation(scheme), suite)
+        da = harness.measure(lambda: DynamicAllocation(scheme), suite)
+        assert sa.within(sa_competitive_factor(model))
+        assert da.within(da_competitive_factor(model))

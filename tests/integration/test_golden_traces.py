@@ -1,0 +1,135 @@
+"""Golden message traces for the paper's worked examples.
+
+The protocols are deterministic, so the exact conversation each example
+produces can be written down once and asserted verbatim — the strongest
+form of behavioural pinning this reproduction has.  If a protocol
+change alters any message, these tests point at the first divergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.sa_protocol import StaticAllocationProtocol
+from repro.distsim.runner import build_network
+from repro.distsim.tracing import MessageLog
+from repro.model.schedule import Schedule
+
+
+def traced_protocol(protocol_cls, nodes, scheme, **kwargs):
+    network = build_network(nodes)
+    log = MessageLog(network)
+    protocol = protocol_cls(network, scheme, **kwargs)
+    return protocol, log
+
+
+class TestIntroExampleTrace:
+    """§1.3's r1 r1 r2 w2 r2 r2 r2 with scheme {1, 3} (t = 2)."""
+
+    SCHEDULE = Schedule.parse("r1 r1 r2 w2 r2 r2 r2")
+
+    def test_da_trace(self):
+        protocol, log = traced_protocol(
+            DynamicAllocationProtocol, {1, 2, 3}, {1, 3}, primary=3
+        )
+        protocol.execute(self.SCHEDULE)
+        assert log.compact() == [
+            # r1, r1: local at the core member 1 — no messages.
+            # r2: foreign saving-read served by F = {1}.
+            "ReadRequest(2->1)",
+            "DataTransfer(1->2)",
+            # w2: writer 2 is a data processor now? No — w2 by joiner 2:
+            # X = F ∪ {2} = {1, 2}; invalidate the evicted primary 3,
+            # ship to 1; 2 writes locally.
+            "Invalidate(1->3)",
+            "DataTransfer(2->1)",
+            # r2 r2 r2: local at the writer — silence.
+        ]
+
+    def test_sa_trace(self):
+        protocol, log = traced_protocol(
+            StaticAllocationProtocol, {1, 2, 3}, {1, 3}
+        )
+        protocol.execute(self.SCHEDULE)
+        assert log.compact() == [
+            # r1 r1: local.
+            # r2: fetched from the server (min Q = 1), never saved:
+            "ReadRequest(2->1)",
+            "DataTransfer(1->2)",
+            # w2: write-all to Q = {1, 3}:
+            "DataTransfer(2->1)",
+            "DataTransfer(2->3)",
+            # r2 r2 r2: three more fetches — SA's Proposition 1 tax.
+            "ReadRequest(2->1)",
+            "DataTransfer(1->2)",
+            "ReadRequest(2->1)",
+            "DataTransfer(1->2)",
+            "ReadRequest(2->1)",
+            "DataTransfer(1->2)",
+        ]
+
+
+class TestPaperSection31Trace:
+    """§3.1's psi_0 = w2 r4 w3 r1 r2 with scheme {1, 2} under DA."""
+
+    def test_da_trace(self):
+        protocol, log = traced_protocol(
+            DynamicAllocationProtocol, {1, 2, 3, 4}, {1, 2}, primary=2
+        )
+        protocol.execute(Schedule.parse("w2 r4 w3 r1 r2"))
+        assert log.compact() == [
+            # w2 (insider): ship to F = {1}; p = 2 writes locally.
+            "DataTransfer(2->1)",
+            # r4: foreign saving-read.
+            "ReadRequest(4->1)",
+            "DataTransfer(1->4)",
+            # w3 (outsider): X = {1, 3}; invalidate evictees 2 and 4.
+            "Invalidate(1->2)",
+            "Invalidate(1->4)",
+            "DataTransfer(3->1)",
+            # r1: local at the core.
+            # r2: 2 was evicted — foreign saving-read again.
+            "ReadRequest(2->1)",
+            "DataTransfer(1->2)",
+        ]
+
+
+class TestLogMachinery:
+    def test_entries_record_class_and_time(self):
+        protocol, log = traced_protocol(
+            DynamicAllocationProtocol, {1, 2, 5}, {1, 2}, primary=2
+        )
+        protocol.execute(Schedule.parse("r5"))
+        assert len(log) == 2
+        request, transfer = log.entries
+        assert request.message_class.value == "control"
+        assert transfer.message_class.value == "data"
+        assert transfer.time > request.time
+
+    def test_filters(self):
+        protocol, log = traced_protocol(
+            DynamicAllocationProtocol, {1, 2, 5}, {1, 2}, primary=2
+        )
+        protocol.execute(Schedule.parse("r5 w1"))
+        assert len(log.of_kind("Invalidate")) == 1
+        assert len(log.between(5, 1)) == 1
+
+    def test_detach_stops_recording(self):
+        protocol, log = traced_protocol(
+            DynamicAllocationProtocol, {1, 2, 5}, {1, 2}, primary=2
+        )
+        protocol.execute(Schedule.parse("r5"))
+        recorded = len(log)
+        log.detach()
+        protocol.execute(Schedule.parse("r5 w1 r5"))
+        assert len(log) == recorded
+
+    def test_dump_is_readable(self):
+        protocol, log = traced_protocol(
+            DynamicAllocationProtocol, {1, 2, 5}, {1, 2}, primary=2
+        )
+        protocol.execute(Schedule.parse("r5"))
+        dump = log.dump()
+        assert "ReadRequest 5->1 [ctrl]" in dump
+        assert "DataTransfer 1->5 [data]" in dump

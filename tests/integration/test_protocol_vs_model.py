@@ -1,0 +1,127 @@
+"""Integration: the discrete-event protocols must cost exactly what the
+analytic model says, request by request.
+
+This is the reproduction's keystone consistency check: §3.2's cost
+formulas charge I/Os, control messages and data messages; the simulator
+counts real I/Os and real messages.  If they ever disagree, either the
+protocol or the formula transcription is wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.sa_protocol import StaticAllocationProtocol
+from repro.distsim.runner import (
+    build_network,
+    compare_with_model,
+    mismatches,
+    run_protocol,
+)
+from repro.model.cost_model import mobile, stationary
+from repro.model.schedule import Schedule
+from repro.workloads.uniform import UniformWorkload
+
+SCHEDULES = [
+    "r1 r2",
+    "r5 r5 r5",
+    "w1 w5 w2",
+    "r5 w1 r5 r6 w6 r6 r2 w2 r5",
+    "w2 r4 w3 r1 r2",  # the paper's psi_0
+    "r1 r1 r2 w2 r2 r2 r2",  # the paper's intro example
+]
+
+
+class TestStaticAllocationAgreement:
+    @pytest.mark.parametrize("text", SCHEDULES)
+    def test_per_request_counts_match(self, text):
+        schedule = Schedule.parse(text)
+        scheme = {1, 2}
+        network = build_network(set(schedule.processors) | scheme)
+        protocol = StaticAllocationProtocol(network, scheme)
+        comparisons = compare_with_model(
+            protocol, StaticAllocation(scheme), schedule
+        )
+        assert mismatches(comparisons) == []
+
+    def test_random_workload_agreement(self):
+        schedule = UniformWorkload(range(1, 7), 60, 0.3).generate(11)
+        scheme = {1, 2, 3}
+        network = build_network(set(schedule.processors) | scheme)
+        protocol = StaticAllocationProtocol(network, scheme)
+        comparisons = compare_with_model(
+            protocol, StaticAllocation(scheme), schedule
+        )
+        assert mismatches(comparisons) == []
+
+
+class TestDynamicAllocationAgreement:
+    @pytest.mark.parametrize("text", SCHEDULES)
+    def test_per_request_counts_match(self, text):
+        schedule = Schedule.parse(text)
+        scheme = {1, 2}
+        network = build_network(set(schedule.processors) | scheme)
+        protocol = DynamicAllocationProtocol(network, scheme, primary=2)
+        comparisons = compare_with_model(
+            protocol, DynamicAllocation(scheme, primary=2), schedule
+        )
+        assert mismatches(comparisons) == []
+
+    def test_random_workload_agreement(self):
+        schedule = UniformWorkload(range(1, 7), 60, 0.3).generate(13)
+        scheme = {1, 2, 3}
+        network = build_network(set(schedule.processors) | scheme)
+        protocol = DynamicAllocationProtocol(network, scheme, primary=3)
+        comparisons = compare_with_model(
+            protocol, DynamicAllocation(scheme, primary=3), schedule
+        )
+        assert mismatches(comparisons) == []
+
+    def test_protocol_scheme_matches_model_scheme(self):
+        schedule = Schedule.parse("r5 r6 w1 r5 w7 r7")
+        scheme = {1, 2}
+        network = build_network({1, 2, 5, 6, 7})
+        protocol = DynamicAllocationProtocol(network, scheme, primary=2)
+        algorithm = DynamicAllocation(scheme, primary=2)
+        for request in schedule:
+            protocol.execute_request(request)
+            algorithm.online_step(request)
+            assert protocol.current_scheme() == algorithm.current_scheme
+
+
+class TestPricedTotals:
+    @pytest.mark.parametrize("name", ["SA", "DA"])
+    @pytest.mark.parametrize(
+        "model",
+        [stationary(0.2, 1.5), mobile(0.5, 2.0)],
+        ids=["sc", "mc"],
+    )
+    def test_total_cost_agreement(self, name, model):
+        schedule = UniformWorkload(range(1, 6), 40, 0.25).generate(5)
+        scheme = {1, 2}
+        stats = run_protocol(name, schedule, scheme, primary=2)
+        if name == "SA":
+            algorithm = StaticAllocation(scheme)
+        else:
+            algorithm = DynamicAllocation(scheme, primary=2)
+        allocation = algorithm.run(schedule)
+        assert stats.cost(model) == pytest.approx(
+            model.schedule_cost(allocation)
+        )
+
+
+class TestLatencies:
+    def test_every_request_completes_with_latency(self):
+        schedule = Schedule.parse("r5 w1 r5")
+        stats = run_protocol("DA", schedule, {1, 2}, primary=2)
+        assert stats.requests_completed == 3
+        assert len(stats.latencies) == 3
+        assert all(latency > 0 for latency in stats.latencies)
+
+    def test_local_reads_are_fastest(self):
+        stats = run_protocol("DA", Schedule.parse("r5 r5"), {1, 2}, primary=2)
+        first, second = stats.latencies
+        assert second < first  # the saved copy makes the re-read local

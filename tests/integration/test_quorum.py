@@ -1,0 +1,116 @@
+"""Integration tests for the quorum consensus protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.failures import FailureInjector
+from repro.distsim.protocols.quorum import QuorumConsensusProtocol
+from repro.distsim.runner import build_network
+from repro.exceptions import ProtocolError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+
+
+def make_quorum(node_ids={1, 2, 3, 4, 5}, **kwargs):
+    network = build_network(node_ids)
+    protocol = QuorumConsensusProtocol(network, {1, 2}, **kwargs)
+    return network, protocol
+
+
+class TestNormalOperation:
+    def test_reads_see_writes(self):
+        _, protocol = make_quorum()
+        protocol.execute(Schedule.parse("w3 r4 w2 r5 r1"))
+        # execute() raises on stale reads; finishing is the assertion.
+        assert protocol.latest_version.number == 2
+
+    def test_write_reaches_a_write_quorum(self):
+        network, protocol = make_quorum()
+        protocol.execute_request(write(3))
+        holders = [
+            node.node_id
+            for node in network.live_nodes()
+            if node.database.peek_version().number == 1
+        ]
+        assert len(holders) >= protocol.write_quorum
+
+    def test_read_costs_quorum_control_messages(self):
+        network, protocol = make_quorum()
+        protocol.execute_request(read(4))
+        stats = network.stats
+        # Reader polls (r-1) others: r-1 inquiries + r-1 reports, plus
+        # the fetch (request + data) if the best holder is remote.
+        assert stats.control_messages >= 2 * (protocol.read_quorum - 1)
+
+    def test_quorum_dearer_than_da_in_normal_mode(self):
+        # The justification for falling back only under failures.
+        from repro.distsim.runner import run_protocol
+
+        schedule = Schedule.parse("r3 w1 r4 r3 w2 r5")
+        da_stats = run_protocol("DA", schedule, {1, 2}, primary=2)
+        network, protocol = make_quorum(set(schedule.processors) | {1, 2})
+        q_stats = protocol.execute(schedule)
+        q_messages = q_stats.control_messages + q_stats.data_messages
+        da_messages = da_stats.control_messages + da_stats.data_messages
+        assert q_messages > da_messages
+
+
+class TestQuorumSizing:
+    def test_default_majority(self):
+        _, protocol = make_quorum()
+        assert protocol.read_quorum == 3
+        assert protocol.write_quorum == 3
+
+    def test_custom_quorums(self):
+        _, protocol = make_quorum(read_quorum=2, write_quorum=4)
+        assert protocol.read_quorum == 2
+
+    def test_non_intersecting_quorums_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_quorum(read_quorum=2, write_quorum=3)
+
+    def test_out_of_range_quorums_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_quorum(read_quorum=0, write_quorum=6)
+
+
+class TestFailureTolerance:
+    def test_survives_minority_crash(self):
+        network, protocol = make_quorum()
+        injector = FailureInjector(network, protocol)
+        protocol.execute_request(write(3))
+        injector.crash_now(1)
+        injector.crash_now(2)
+        # Majority (3, 4, 5) still live: reads and writes proceed.
+        protocol.execute_request(write(4))
+        protocol.execute_request(read(5))
+        assert protocol.latest_version.number == 2
+
+    def test_majority_crash_blocks_writes(self):
+        network, protocol = make_quorum()
+        injector = FailureInjector(network, protocol)
+        for node_id in (1, 2, 3):
+            injector.crash_now(node_id)
+        with pytest.raises(ProtocolError):
+            protocol.execute_request(write(4))
+
+    def test_majority_crash_blocks_reads(self):
+        network, protocol = make_quorum()
+        injector = FailureInjector(network, protocol)
+        for node_id in (1, 2, 3):
+            injector.crash_now(node_id)
+        with pytest.raises(ProtocolError):
+            protocol.execute_request(read(4))
+
+    def test_reads_stay_fresh_across_crash_and_recovery(self):
+        network, protocol = make_quorum()
+        injector = FailureInjector(network, protocol)
+        protocol.execute_request(write(3))
+        injector.crash_now(3)
+        protocol.execute_request(write(4))  # node 3 misses this write
+        injector.recover_now(3)
+        # Node 3's copy is stale; quorum reads must still return v2.
+        protocol.execute_request(read(3))
+        protocol.execute_request(read(5))
+        assert protocol.latest_version.number == 2

@@ -1,0 +1,117 @@
+"""Integration tests for snoopy caching on the bus (§5.2's architecture)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.bus import SharedBusNetwork
+from repro.distsim.network import Network
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.snoopy import SnoopyCachingProtocol
+from repro.distsim.simulator import Simulator
+from repro.exceptions import ProtocolError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+
+
+def make_snoopy(nodes=frozenset(range(1, 8)), scheme=frozenset({1, 2})):
+    bus = SharedBusNetwork(Simulator())
+    bus.add_nodes(nodes)
+    return bus, SnoopyCachingProtocol(bus, scheme)
+
+
+class TestBusRequirement:
+    def test_rejects_point_to_point_networks(self):
+        network = Network(Simulator())
+        network.add_nodes({1, 2})
+        with pytest.raises(ProtocolError):
+            SnoopyCachingProtocol(network, {1, 2})
+
+
+class TestCorrectness:
+    def test_reads_always_fresh(self):
+        _, protocol = make_snoopy()
+        protocol.execute(Schedule.parse("r5 w3 r5 r6 w6 r3 r4 w1 r7"))
+        assert protocol.latest_version.number == 3
+
+    def test_read_miss_caches_the_line(self):
+        bus, protocol = make_snoopy()
+        protocol.execute_request(read(5))
+        assert bus.node(5).holds_valid_copy
+
+    def test_write_invalidates_every_cache(self):
+        bus, protocol = make_snoopy()
+        protocol.execute(Schedule.parse("r5 r6 r7 w3"))
+        for node_id in (5, 6, 7):
+            assert not bus.node(node_id).holds_valid_copy
+        assert bus.node(3).holds_valid_copy
+
+    def test_availability_constraint_respected(self):
+        bus, protocol = make_snoopy()
+        protocol.execute_request(write(5))
+        holders = [
+            node_id for node_id in bus.node_ids
+            if bus.node(node_id).holds_valid_copy
+        ]
+        assert len(holders) >= 2
+
+
+class TestBroadcastEconomics:
+    def test_one_invalidation_charge_regardless_of_sharers(self):
+        """The §5.2 contrast, measured: DA pays per joiner, the bus
+        broadcast pays once."""
+        readers = "r4 r5 r6 r7"
+        schedule = Schedule.parse(f"{readers} w3")
+
+        bus, snoopy = make_snoopy()
+        snoopy.execute(schedule)
+        snoopy_ctrl = bus.stats.control_messages
+
+        p2p_bus = SharedBusNetwork(Simulator())
+        p2p_bus.add_nodes(range(1, 8))
+        da = DynamicAllocationProtocol(p2p_bus, {1, 2}, primary=2)
+        da.execute(schedule)
+        da_ctrl = p2p_bus.stats.control_messages
+
+        # Four read requests each (one control message per miss), but
+        # the write differs: snoopy broadcasts one invalidation; DA
+        # sends one per stale holder (4 joiners + evicted p = 5).
+        assert snoopy_ctrl == 4 + 1
+        assert da_ctrl == 4 + 5
+
+    def test_broadcast_occupies_the_bus_once(self):
+        bus, protocol = make_snoopy()
+        protocol.execute(Schedule.parse("r4 r5 r6"))
+        busy_before = bus.busy_time
+        protocol.execute_request(write(3))
+        # The write's bus occupancy: 1 invalidation broadcast + 1 data
+        # transfer to the availability partner = 1 ctrl + 1 data slot.
+        assert bus.busy_time - busy_before == pytest.approx(
+            bus.control_latency + bus.data_latency
+        )
+
+    def test_empty_broadcast_completes_immediately(self):
+        bus, protocol = make_snoopy()
+        fired = []
+        bus.broadcast([], on_complete=lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_mixed_class_broadcast_rejected(self):
+        from repro.distsim.messages import DataTransfer, Invalidate
+        from repro.storage.versions import ObjectVersion
+
+        bus, _ = make_snoopy()
+        with pytest.raises(ProtocolError):
+            bus.broadcast(
+                [
+                    Invalidate(1, 2),
+                    DataTransfer(1, 3, version=ObjectVersion(0, 1)),
+                ]
+            )
+
+    def test_multi_sender_broadcast_rejected(self):
+        from repro.distsim.messages import Invalidate
+
+        bus, _ = make_snoopy()
+        with pytest.raises(ProtocolError):
+            bus.broadcast([Invalidate(1, 2), Invalidate(3, 2)])

@@ -1,0 +1,103 @@
+"""Integration tests for Gifford-style weighted voting.
+
+The quorum fallback generalizes Thomas's one-vote-per-node majority to
+Gifford's weighted voting: vote weights shift the quorum geometry, so a
+heavy voter can make quorums small (cheap) while zero-vote nodes hold
+non-authoritative weak copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.failures import FailureInjector
+from repro.distsim.protocols.quorum import QuorumConsensusProtocol
+from repro.distsim.runner import build_network
+from repro.exceptions import ProtocolError
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+
+
+def make(votes=None, read_quorum=None, write_quorum=None):
+    network = build_network({1, 2, 3, 4, 5})
+    protocol = QuorumConsensusProtocol(
+        network, {1, 2},
+        read_quorum=read_quorum, write_quorum=write_quorum, votes=votes,
+    )
+    return network, protocol
+
+
+class TestVoteConfiguration:
+    def test_default_is_one_vote_each(self):
+        _, protocol = make()
+        assert protocol.votes == {n: 1 for n in (1, 2, 3, 4, 5)}
+        assert protocol.read_quorum == 3
+
+    def test_weighted_majority(self):
+        # Node 1 carries 3 votes: total 7, majority 4.
+        _, protocol = make(votes={1: 3})
+        assert protocol.read_quorum == 4
+        assert protocol.write_quorum == 4
+
+    def test_unknown_voter_rejected(self):
+        with pytest.raises(ProtocolError):
+            make(votes={99: 1})
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(ProtocolError):
+            make(votes={1: -1})
+
+    def test_all_zero_votes_rejected(self):
+        with pytest.raises(ProtocolError):
+            make(votes={n: 0 for n in (1, 2, 3, 4, 5)})
+
+    def test_non_intersecting_weighted_quorums_rejected(self):
+        with pytest.raises(ProtocolError):
+            make(votes={1: 3}, read_quorum=3, write_quorum=4)  # 3+4 <= 7
+
+
+class TestWeightedBehaviour:
+    def test_heavy_voter_shrinks_quorums(self):
+        # Node 1 alone (3 votes) plus any other node meets a 4-vote
+        # quorum: reads poll fewer nodes than one-vote-each majority.
+        network, protocol = make(votes={1: 3})
+        protocol.execute_request(read(4))
+        light_network, light_protocol = make()
+        light_protocol.execute_request(read(4))
+        assert (
+            network.stats.control_messages
+            < light_network.stats.control_messages
+        )
+
+    def test_reads_stay_fresh_under_weights(self):
+        _, protocol = make(votes={1: 3})
+        protocol.execute(Schedule.parse("w3 r4 w5 r1 r2"))
+        assert protocol.latest_version.number == 2
+
+    def test_heavy_voter_crash_blocks_service(self):
+        # With votes {1:3, others:1} and quorums of 4, losing node 1
+        # leaves only 4 live votes... exactly enough; losing one more
+        # node blocks.
+        network, protocol = make(votes={1: 3})
+        injector = FailureInjector(network, protocol)
+        injector.crash_now(1)
+        protocol.execute_request(write(3))  # 4 live votes: still fine
+        injector.crash_now(2)
+        with pytest.raises(ProtocolError):
+            protocol.execute_request(write(3))
+
+    def test_zero_vote_node_is_never_authoritative(self):
+        # Node 5 has no votes: quorums never rely on it, but it can
+        # still issue requests.
+        _, protocol = make(votes={5: 0})
+        protocol.execute(Schedule.parse("w5 r5 r4"))
+        assert protocol.latest_version.number == 1
+
+    def test_weighted_quorums_survive_minority_crash(self):
+        network, protocol = make(votes={1: 2, 2: 2})  # total 7, majority 4
+        injector = FailureInjector(network, protocol)
+        protocol.execute_request(write(3))
+        injector.crash_now(3)
+        protocol.execute_request(write(4))
+        protocol.execute_request(read(5))
+        assert protocol.latest_version.number == 2

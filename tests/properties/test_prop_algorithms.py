@@ -1,0 +1,97 @@
+"""Property-based tests: algorithm invariants on arbitrary schedules.
+
+Hypothesis generates arbitrary small schedules over six processors and
+checks, for every algorithm:
+
+* the produced allocation schedule is legal and ``t``-available and
+  corresponds to the input (the definition of a DOM algorithm, §3.4);
+* determinism: re-running yields the identical allocation schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.caching import WriteInvalidationCaching
+from repro.core.cddr import SkiRentalReplication
+from repro.core.convergent import ConvergentAllocation
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import stationary
+from tests.properties.strategies import schedules
+
+SCHEME = frozenset({1, 2})
+
+
+def all_algorithms():
+    model = stationary(0.2, 1.5)
+    return [
+        StaticAllocation(SCHEME),
+        DynamicAllocation(SCHEME, primary=2),
+        SkiRentalReplication(SCHEME, rent_limit=2, primary=2),
+        WriteInvalidationCaching(SCHEME),
+        ConvergentAllocation(SCHEME, model, window=8),
+    ]
+
+
+@given(schedule=schedules())
+@settings(max_examples=60, deadline=None)
+def test_every_algorithm_produces_valid_output(schedule):
+    for algorithm in all_algorithms():
+        allocation = algorithm.run(schedule)
+        allocation.check_legal()
+        allocation.check_t_available(2)
+        assert allocation.corresponds_to(schedule)
+
+
+@given(schedule=schedules())
+@settings(max_examples=40, deadline=None)
+def test_algorithms_are_deterministic(schedule):
+    for algorithm in all_algorithms():
+        first = algorithm.run(schedule)
+        second = algorithm.run(schedule)
+        assert first.steps == second.steps
+
+
+@given(schedule=schedules())
+@settings(max_examples=40, deadline=None)
+def test_sa_scheme_is_constant(schedule):
+    algorithm = StaticAllocation(SCHEME)
+    allocation = algorithm.run(schedule)
+    for scheme, _ in allocation.schemes():
+        assert scheme == SCHEME
+
+
+@given(schedule=schedules())
+@settings(max_examples=40, deadline=None)
+def test_da_core_is_always_replicated(schedule):
+    algorithm = DynamicAllocation(SCHEME, primary=2)
+    allocation = algorithm.run(schedule)
+    for scheme, _ in allocation.schemes():
+        assert algorithm.core <= scheme
+    assert algorithm.core <= allocation.final_scheme
+
+
+@given(schedule=schedules())
+@settings(max_examples=40, deadline=None)
+def test_da_join_lists_record_exactly_the_saving_readers(schedule):
+    """The model-level join-list invariant: at every point, the union
+    of the join-lists is exactly the set of saving-readers since the
+    last write (the processors a future write must invalidate beyond
+    the execution-set turnover)."""
+    algorithm = DynamicAllocation(SCHEME, primary=2)
+    algorithm.reset()
+    readers_since_write: set[int] = set()
+    for request in schedule:
+        executed = algorithm.online_step(request)
+        if executed.is_write:
+            readers_since_write = set()
+        elif executed.is_saving_read:
+            readers_since_write.add(executed.processor)
+        recorded = set()
+        for member in algorithm.core:
+            recorded |= set(algorithm.join_list(member))
+        assert recorded == readers_since_write
+        # Recorded readers really are scheme members (they saved).
+        assert recorded <= algorithm.current_scheme

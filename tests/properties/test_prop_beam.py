@@ -1,0 +1,61 @@
+"""Property-based tests for the beam OPT bound and the OPT sandwich."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.beam_optimal import BeamOptimal, optimal_sandwich
+from repro.core.offline_optimal import OfflineOptimal
+from repro.model.cost_model import stationary
+from tests.properties.strategies import feasible_prices, schedules
+
+SCHEME = frozenset({1, 2})
+TOLERANCE = 1e-9
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=40, deadline=None)
+def test_beam_upper_bounds_exact_opt(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    exact = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+    beam = BeamOptimal(model).solve(schedule, SCHEME)
+    assert beam.cost >= exact - TOLERANCE
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=40, deadline=None)
+def test_sandwich_brackets_exact_opt(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    sandwich = optimal_sandwich(schedule, SCHEME, model)
+    exact = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+    assert sandwich.lower - TOLERANCE <= exact <= sandwich.upper + TOLERANCE
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=30, deadline=None)
+def test_beam_witness_is_always_valid(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    result = BeamOptimal(model).solve(schedule, SCHEME)
+    result.allocation.check_legal()
+    result.allocation.check_t_available(2)
+    assert result.allocation.corresponds_to(schedule)
+    assert abs(model.schedule_cost(result.allocation) - result.cost) < 1e-6
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=30, deadline=None)
+def test_every_beam_width_is_sound(schedule, prices):
+    """Any beam width yields a legal strategy costing >= exact OPT.
+
+    (Beam widths are deliberately not compared with each other:
+    beam-search pruning is not monotone in the width in general.)
+    """
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    exact = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+    for width in (1, 4, 128):
+        cost = BeamOptimal(model, beam_width=width).solve(schedule, SCHEME).cost
+        assert cost >= exact - TOLERANCE

@@ -1,0 +1,105 @@
+"""Property-based tests: cost-model invariants.
+
+Randomized checks of the §3.2/§3.3 formulas' structural properties —
+non-negativity, the saving-read surcharge, the SC/MC relationship, and
+the scaling invariance that justifies the paper's ``c_io = 1``
+normalization.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import CostModel, mobile, stationary
+from repro.model.costs import next_scheme, request_breakdown
+from repro.model.request import ExecutedRequest, read, write
+from tests.properties.strategies import (
+    PROCESSORS,
+    feasible_prices,
+    schedules,
+)
+from hypothesis import strategies as st
+
+
+@st.composite
+def executed_requests(draw):
+    processor = draw(PROCESSORS)
+    execution_set = draw(
+        st.frozensets(PROCESSORS, min_size=1, max_size=4)
+    )
+    if draw(st.booleans()):
+        saving = draw(st.booleans())
+        return ExecutedRequest(read(processor), execution_set, saving=saving)
+    return ExecutedRequest(write(processor), execution_set)
+
+
+@st.composite
+def scheme_sets(draw):
+    return draw(st.frozensets(PROCESSORS, min_size=1, max_size=6))
+
+
+@given(executed=executed_requests(), scheme=scheme_sets())
+@settings(max_examples=120, deadline=None)
+def test_breakdown_counts_are_non_negative(executed, scheme):
+    breakdown = request_breakdown(executed, scheme)
+    assert breakdown.io_ops >= 0
+    assert breakdown.control_messages >= 0
+    assert breakdown.data_messages >= 0
+
+
+@given(executed=executed_requests(), scheme=scheme_sets(), prices=feasible_prices())
+@settings(max_examples=120, deadline=None)
+def test_cost_is_non_negative_under_any_feasible_prices(
+    executed, scheme, prices
+):
+    c_c, c_d = prices
+    for model in (stationary(c_c, c_d), mobile(c_c, c_d)):
+        assert model.request_cost(executed, scheme) >= 0.0
+
+
+@given(executed=executed_requests(), scheme=scheme_sets())
+@settings(max_examples=80, deadline=None)
+def test_mobile_cost_is_stationary_cost_minus_io(executed, scheme):
+    """MC is SC with the I/O term removed (§3.3)."""
+    c_c, c_d = 0.25, 1.25
+    sc = stationary(c_c, c_d)
+    mc = mobile(c_c, c_d)
+    breakdown = request_breakdown(executed, scheme)
+    assert mc.price(breakdown) == sc.price(breakdown) - breakdown.io_ops
+
+
+@given(schedule=schedules(), prices=feasible_prices(), scale=st.sampled_from([0.5, 2.0, 4.0]))
+@settings(max_examples=50, deadline=None)
+def test_cost_scales_linearly_with_unit_prices(schedule, prices, scale):
+    """Scaling every price by the same factor scales every schedule
+    cost by that factor — why normalizing c_io to 1 loses nothing."""
+    c_c, c_d = prices
+    base = CostModel(1.0, c_c, c_d)
+    scaled = CostModel(scale, c_c * scale, c_d * scale)
+    allocation = StaticAllocation({1, 2}).run(schedule)
+    assert scaled.schedule_cost(allocation) == base.schedule_cost(
+        allocation
+    ) * scale
+
+
+@given(executed=executed_requests(), scheme=scheme_sets())
+@settings(max_examples=80, deadline=None)
+def test_write_cost_never_below_execution_set_size_times_io(executed, scheme):
+    """Every write outputs at |X| processors: io_ops == |X|."""
+    if executed.is_write:
+        breakdown = request_breakdown(executed, scheme)
+        assert breakdown.io_ops == len(executed.execution_set)
+
+
+@given(executed=executed_requests(), scheme=scheme_sets())
+@settings(max_examples=80, deadline=None)
+def test_scheme_evolution_is_lawful(executed, scheme):
+    after = next_scheme(executed, scheme)
+    if executed.is_write:
+        assert after == executed.execution_set
+    elif executed.saving:
+        assert after == scheme | {executed.processor}
+    else:
+        assert after == scheme

@@ -1,0 +1,79 @@
+"""Property-based tests: the simulator agrees with the model everywhere.
+
+For arbitrary schedules, the discrete-event SA and DA protocols must
+produce per-request (I/O, control, data) counts identical to the
+analytic model's breakdowns — and per-node I/O counters must sum to the
+global statistics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
+from repro.distsim.protocols.sa_protocol import StaticAllocationProtocol
+from repro.distsim.runner import build_network, compare_with_model, mismatches
+from tests.properties.strategies import schedules
+
+SCHEME = frozenset({1, 2})
+ALL_NODES = frozenset(range(1, 7))
+
+
+@given(schedule=schedules())
+@settings(max_examples=40, deadline=None)
+def test_sa_protocol_matches_model_per_request(schedule):
+    network = build_network(ALL_NODES)
+    protocol = StaticAllocationProtocol(network, SCHEME)
+    comparisons = compare_with_model(
+        protocol, StaticAllocation(SCHEME), schedule
+    )
+    assert mismatches(comparisons) == []
+
+
+@given(schedule=schedules())
+@settings(max_examples=40, deadline=None)
+def test_da_protocol_matches_model_per_request(schedule):
+    network = build_network(ALL_NODES)
+    protocol = DynamicAllocationProtocol(network, SCHEME, primary=2)
+    comparisons = compare_with_model(
+        protocol, DynamicAllocation(SCHEME, primary=2), schedule
+    )
+    assert mismatches(comparisons) == []
+
+
+@given(schedule=schedules())
+@settings(max_examples=30, deadline=None)
+def test_per_node_io_sums_to_global_stats(schedule):
+    network = build_network(ALL_NODES)
+    protocol = DynamicAllocationProtocol(network, SCHEME, primary=2)
+    protocol.execute(schedule)
+    node_reads = sum(
+        network.node(node_id).database.io_reads for node_id in ALL_NODES
+    )
+    node_writes = sum(
+        network.node(node_id).database.io_writes for node_id in ALL_NODES
+    )
+    assert node_reads == network.stats.io_reads
+    assert node_writes == network.stats.io_writes
+
+
+@given(schedule=schedules())
+@settings(max_examples=30, deadline=None)
+def test_da_protocol_scheme_tracks_model_scheme(schedule):
+    network = build_network(ALL_NODES)
+    protocol = DynamicAllocationProtocol(network, SCHEME, primary=2)
+    algorithm = DynamicAllocation(SCHEME, primary=2)
+    algorithm.reset()
+    for request in schedule:
+        protocol.execute_request(request)
+        algorithm.online_step(request)
+        assert protocol.current_scheme() == algorithm.current_scheme
+        # The nodes holding valid copies are exactly the scheme.
+        holders = {
+            node_id
+            for node_id in ALL_NODES
+            if network.node(node_id).holds_valid_copy
+        }
+        assert holders == algorithm.current_scheme

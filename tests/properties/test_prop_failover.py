@@ -1,0 +1,117 @@
+"""Stateful property test: the fault-tolerant DA driver under random
+crash/recover/request interleavings.
+
+Hypothesis drives a random sequence of operations — reads, writes,
+crashes and recoveries — against the fault-tolerant driver and checks
+the global safety properties after every step:
+
+* no request ever returns a stale version (enforced inside
+  ``execute_request``; surviving it is the assertion);
+* the driver is in DA mode exactly when every scheme member is live
+  (eventual mode correctness);
+* whenever the driver is in DA mode, every core member holds a valid
+  copy of the latest version.
+
+A liveness floor keeps the machine honest: it never crashes below a
+majority, mirroring quorum consensus's availability limit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.distsim.failures import FailureInjector
+from repro.distsim.protocols.missing_writes import FaultTolerantDAProtocol
+from repro.distsim.runner import build_network
+from repro.model.request import read, write
+
+NODES = (1, 2, 3, 4, 5)
+MAJORITY = len(NODES) // 2 + 1
+PROCESSOR = st.sampled_from(NODES)
+
+
+class FailoverMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.network = build_network(set(NODES))
+        self.protocol = FaultTolerantDAProtocol(
+            self.network, {1, 2}, primary=2
+        )
+        self.injector = FailureInjector(self.network, self.protocol)
+        self.down: set[int] = set()
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(processor=PROCESSOR)
+    def do_read(self, processor):
+        if processor in self.down:
+            return  # a crashed processor issues nothing
+        self.protocol.execute_request(read(processor))
+
+    @rule(processor=PROCESSOR)
+    def do_write(self, processor):
+        if processor in self.down:
+            return
+        self.protocol.execute_request(write(processor))
+
+    @precondition(lambda self: len(self.down) < len(NODES) - MAJORITY)
+    @rule(processor=PROCESSOR)
+    def do_crash(self, processor):
+        if processor in self.down:
+            return
+        self.injector.crash_now(processor)
+        self.down.add(processor)
+
+    @rule(processor=PROCESSOR)
+    def do_recover(self, processor):
+        if processor not in self.down:
+            return
+        self.injector.recover_now(processor)
+        self.down.discard(processor)
+
+    # -- safety invariants ------------------------------------------------------
+
+    @invariant()
+    def mode_matches_liveness(self):
+        scheme_members = self.protocol.core | {self.protocol.primary}
+        members_live = all(
+            self.network.node(member).alive for member in scheme_members
+        )
+        if self.protocol.mode == "da":
+            assert members_live
+        else:
+            assert not members_live
+
+    @invariant()
+    def da_mode_core_holds_latest(self):
+        if self.protocol.mode != "da":
+            return
+        latest = self.protocol.latest_version.number
+        for member in self.protocol.core:
+            node = self.network.node(member)
+            assert node.holds_valid_copy
+            assert node.database.peek_version().number == latest
+
+    @invariant()
+    def some_live_node_holds_latest(self):
+        latest = self.protocol.latest_version.number
+        holders = [
+            node
+            for node in self.network.live_nodes()
+            if node.database.peek_version() is not None
+            and node.database.peek_version().number == latest
+        ]
+        assert holders, "the latest version must never be lost"
+
+
+FailoverMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestFailover = FailoverMachine.TestCase

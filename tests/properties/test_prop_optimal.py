@@ -1,0 +1,94 @@
+"""Property-based tests: the offline optimum and the theorem bounds.
+
+The heart of the reproduction: for *arbitrary* small schedules and
+*arbitrary* feasible prices, the measured cost ratios of SA and DA
+against the exact DP optimum must respect every bound the paper proves.
+A single counterexample here would falsify the reproduction (or the
+paper).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.analysis.bounds import da_competitive_factor, sa_competitive_factor
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.offline_bounds import optimal_cost_lower_bound
+from repro.core.offline_optimal import OfflineOptimal
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import mobile, stationary
+from tests.properties.strategies import feasible_prices, schedules
+
+SCHEME = frozenset({1, 2})
+TOLERANCE = 1e-9
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=60, deadline=None)
+def test_opt_is_a_true_lower_bound(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    solver = OfflineOptimal(model)
+    opt = solver.optimal_cost(schedule, SCHEME)
+    for algorithm in (
+        StaticAllocation(SCHEME),
+        DynamicAllocation(SCHEME, primary=2),
+    ):
+        allocation = algorithm.run(schedule)
+        assert model.schedule_cost(allocation) >= opt - TOLERANCE
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=60, deadline=None)
+def test_opt_witness_is_valid_and_priced_correctly(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    result = OfflineOptimal(model).solve(schedule, SCHEME)
+    result.allocation.check_legal()
+    result.allocation.check_t_available(2)
+    assert result.allocation.corresponds_to(schedule)
+    assert abs(model.schedule_cost(result.allocation) - result.cost) < 1e-6
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=60, deadline=None)
+def test_linear_lower_bound_never_exceeds_opt(schedule, prices):
+    c_c, c_d = prices
+    for model in (stationary(c_c, c_d), mobile(c_c, c_d)):
+        bound = optimal_cost_lower_bound(schedule, SCHEME, model)
+        opt = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+        assert bound <= opt + TOLERANCE
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=60, deadline=None)
+def test_theorem_1_sa_bound_on_random_instances(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    opt = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+    sa_cost = model.schedule_cost(StaticAllocation(SCHEME).run(schedule))
+    assert sa_cost <= sa_competitive_factor(model) * opt + TOLERANCE
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=60, deadline=None)
+def test_theorems_2_3_da_bound_on_random_instances(schedule, prices):
+    c_c, c_d = prices
+    model = stationary(c_c, c_d)
+    opt = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+    da_cost = model.schedule_cost(
+        DynamicAllocation(SCHEME, primary=2).run(schedule)
+    )
+    assert da_cost <= da_competitive_factor(model) * opt + TOLERANCE
+
+
+@given(schedule=schedules(), prices=feasible_prices())
+@settings(max_examples=60, deadline=None)
+def test_theorem_4_da_bound_in_mobile_model(schedule, prices):
+    c_c, c_d = prices
+    model = mobile(c_c, c_d)
+    opt = OfflineOptimal(model).optimal_cost(schedule, SCHEME)
+    da_cost = model.schedule_cost(
+        DynamicAllocation(SCHEME, primary=2).run(schedule)
+    )
+    assert da_cost <= da_competitive_factor(model) * opt + TOLERANCE

@@ -1,0 +1,69 @@
+"""Property-based tests for quorum consensus.
+
+For arbitrary schedules and arbitrary intersecting quorum
+configurations, every read must observe the latest version (the driver
+raises on staleness — surviving execution is the assertion), and the
+latest version must reside at a full write quorum after every write.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim.protocols.quorum import QuorumConsensusProtocol
+from repro.distsim.runner import build_network
+from tests.properties.strategies import schedules
+
+NODES = frozenset(range(1, 7))  # 6 nodes
+
+
+@st.composite
+def quorum_configs(draw):
+    """Intersecting (r, w) pairs over six one-vote nodes."""
+    read_quorum = draw(st.integers(min_value=1, max_value=6))
+    write_quorum = draw(
+        st.integers(min_value=max(1, 7 - read_quorum), max_value=6)
+    )
+    return read_quorum, write_quorum
+
+
+@given(schedule=schedules(), config=quorum_configs())
+@settings(max_examples=40, deadline=None)
+def test_reads_always_fresh(schedule, config):
+    read_quorum, write_quorum = config
+    network = build_network(NODES)
+    protocol = QuorumConsensusProtocol(
+        network, {1, 2}, read_quorum=read_quorum, write_quorum=write_quorum
+    )
+    protocol.execute(schedule)  # raises on any stale read
+
+
+@given(schedule=schedules(), config=quorum_configs())
+@settings(max_examples=30, deadline=None)
+def test_latest_version_at_a_write_quorum(schedule, config):
+    read_quorum, write_quorum = config
+    network = build_network(NODES)
+    protocol = QuorumConsensusProtocol(
+        network, {1, 2}, read_quorum=read_quorum, write_quorum=write_quorum
+    )
+    protocol.execute(schedule)
+    latest = protocol.latest_version.number
+    holders = sum(
+        1
+        for node_id in NODES
+        if network.node(node_id).database.peek_version() is not None
+        and network.node(node_id).database.peek_version().number == latest
+    )
+    assert holders >= min(write_quorum, len(NODES))
+
+
+@given(schedule=schedules(), votes=st.lists(
+    st.integers(min_value=0, max_value=3), min_size=6, max_size=6,
+).filter(lambda weights: sum(weights) >= 2))
+@settings(max_examples=30, deadline=None)
+def test_weighted_majorities_stay_fresh(schedule, votes):
+    network = build_network(NODES)
+    vote_map = dict(zip(sorted(NODES), votes))
+    protocol = QuorumConsensusProtocol(network, {1, 2}, votes=vote_map)
+    protocol.execute(schedule)  # majority quorums over weights: no staleness

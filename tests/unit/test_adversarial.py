@@ -1,0 +1,121 @@
+"""Unit tests for the adversarial schedule families and their effect.
+
+These tests verify not just the shapes of the generated schedules but
+that each family actually *hurts* its target algorithm the way the
+paper's propositions require.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.competitive import CompetitivenessHarness
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import mobile, stationary
+from repro.workloads.adversarial import (
+    adversarial_suite,
+    da_killer,
+    ping_pong,
+    read_mostly_bursts,
+    sa_killer,
+    single_reader_then_writer,
+)
+
+
+class TestShapes:
+    def test_sa_killer_is_pure_reads(self):
+        schedule = sa_killer(5, 10)
+        assert len(schedule) == 10
+        assert schedule.write_count == 0
+        assert schedule.processors == frozenset({5})
+
+    def test_da_killer_rounds(self):
+        schedule = da_killer([5, 6], writer=1, rounds=3)
+        assert len(schedule) == 9
+        assert schedule.write_count == 3
+        assert schedule.writes_by(1) == 3
+
+    def test_da_killer_rejects_writer_among_readers(self):
+        with pytest.raises(ConfigurationError):
+            da_killer([1, 5], writer=1, rounds=2)
+
+    def test_ping_pong_alternates(self):
+        schedule = ping_pong(1, 5, rounds=2, reads_per_turn=1)
+        assert str(schedule) == "w1 r1 w5 r5 w1 r1 w5 r5"
+
+    def test_ping_pong_needs_distinct_processors(self):
+        with pytest.raises(ConfigurationError):
+            ping_pong(1, 1, rounds=1)
+
+    def test_read_mostly_bursts_round_robins(self):
+        schedule = read_mostly_bursts([5, 6], writer=1, burst_length=4, rounds=1)
+        assert str(schedule) == "r5 r6 r5 r6 w1"
+
+    def test_suite_needs_two_outsiders(self):
+        with pytest.raises(ConfigurationError):
+            adversarial_suite({1, 2}, [5])
+
+    def test_suite_members_are_non_trivial(self):
+        suite = adversarial_suite({1, 2}, [5, 6, 7], rounds=3)
+        assert len(suite) >= 5
+        assert all(len(schedule) > 0 for schedule in suite)
+
+
+class TestEffectOnSA:
+    def test_ratio_approaches_theorem_1_factor(self):
+        # Proposition 1: repeated foreign reads drive SA's ratio toward
+        # 1 + c_c + c_d from below as the schedule grows.
+        model = stationary(0.3, 1.2)
+        harness = CompetitivenessHarness(model)
+        target = 1 + 0.3 + 1.2
+        previous = 0.0
+        for repetitions in (4, 16, 64):
+            report = harness.measure(
+                lambda: StaticAllocation({1, 2}),
+                [sa_killer(5, repetitions)],
+            )
+            assert previous <= report.max_ratio <= target + 1e-9
+            previous = report.max_ratio
+        assert previous > target * 0.9
+
+    def test_unbounded_ratio_in_mobile_model(self):
+        # Proposition 3: the same family is unbounded when c_io = 0.
+        model = mobile(0.3, 1.2)
+        harness = CompetitivenessHarness(model)
+        ratios = [
+            harness.measure(
+                lambda: StaticAllocation({1, 2}), [sa_killer(5, k)]
+            ).max_ratio
+            for k in (5, 20, 80)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] >= 80.0 - 1e-9
+
+
+class TestEffectOnDA:
+    def test_ratio_exceeds_prop2_bound(self):
+        # Proposition 2: with cheap communication, distinct one-shot
+        # readers between writes push DA's ratio past 1.5.
+        model = stationary(0.01, 0.02)
+        harness = CompetitivenessHarness(model)
+        schedule = da_killer([5, 6, 7], writer=1, rounds=4)
+        report = harness.measure(
+            lambda: DynamicAllocation({1, 2}, primary=2), [schedule]
+        )
+        assert report.max_ratio > 1.5
+
+    def test_ratio_respects_theorem_2_bound(self):
+        # ... but never beyond the 2 + 2 c_c upper bound.
+        for c_c, c_d in [(0.01, 0.02), (0.2, 0.4), (0.5, 0.6)]:
+            model = stationary(c_c, c_d)
+            harness = CompetitivenessHarness(model)
+            schedule = da_killer([5, 6, 7, 8], writer=1, rounds=4)
+            report = harness.measure(
+                lambda: DynamicAllocation({1, 2}, primary=2), [schedule]
+            )
+            assert report.max_ratio <= 2 + 2 * c_c + 1e-9
+
+    def test_single_reader_family_alias(self):
+        assert single_reader_then_writer(5, 1, 3) == da_killer([5], 1, 3)

@@ -1,0 +1,173 @@
+"""Unit tests for allocation schedules (repro.model.allocation).
+
+The central example is the paper's own (§3.1): the allocation schedule
+
+    tau_0 = w2{2,3} r4{1,2} w3{2,3} _r1{1,2} r2{2}
+
+with initial scheme {3,4}, whose scheme evolution the paper spells out:
+{3,4} at the first request, {2,3} at the second/third/fourth, and
+{1,2,3} at the fifth (after the saving-read by processor 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AvailabilityViolationError,
+    ConfigurationError,
+    IllegalScheduleError,
+)
+from repro.model.allocation import (
+    AllocationSchedule,
+    check_request_order_preserved,
+)
+from repro.model.request import ExecutedRequest, read, write
+from repro.model.schedule import Schedule
+
+
+def paper_tau0() -> AllocationSchedule:
+    """The allocation schedule tau_0 of paper §3.1."""
+    return AllocationSchedule(
+        frozenset({3, 4}),
+        (
+            ExecutedRequest(write(2), {2, 3}),
+            ExecutedRequest(read(4), {1, 2}),
+            ExecutedRequest(write(3), {2, 3}),
+            ExecutedRequest(read(1), {1, 2}, saving=True),
+            ExecutedRequest(read(2), {2}),
+        ),
+    )
+
+
+class TestSchemeEvolution:
+    def test_paper_scheme_sequence(self):
+        tau = paper_tau0()
+        schemes = [scheme for scheme, _ in tau.schemes()]
+        assert schemes == [
+            frozenset({3, 4}),
+            frozenset({2, 3}),
+            frozenset({2, 3}),
+            frozenset({2, 3}),
+            frozenset({1, 2, 3}),
+        ]
+
+    def test_scheme_at_indexing(self):
+        tau = paper_tau0()
+        assert tau.scheme_at(0) == frozenset({3, 4})
+        assert tau.scheme_at(4) == frozenset({1, 2, 3})
+
+    def test_scheme_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            paper_tau0().scheme_at(5)
+
+    def test_final_scheme_after_saving_read(self):
+        # Paper: "at the end of this allocation schedule the object is
+        # stored in the local databases of processors {1, 2, 3}".
+        assert paper_tau0().final_scheme == frozenset({1, 2, 3})
+
+
+class TestLegality:
+    def test_paper_example_is_legal(self):
+        # The paper's r4{1,2} is legal: {1,2} meets the scheme {2,3}.
+        paper_tau0().check_legal()
+
+    def test_illegal_when_read_misses_scheme(self):
+        # Paper: "tau_0 will be illegal if we change the execution set
+        # of the last request r2 from {2} to {4}".
+        tau = paper_tau0()
+        broken = AllocationSchedule(
+            tau.initial_scheme,
+            tau.steps[:4] + (ExecutedRequest(read(2), {4}),),
+        )
+        assert not broken.is_legal()
+        with pytest.raises(IllegalScheduleError):
+            broken.check_legal()
+
+    def test_writes_never_illegal(self):
+        allocation = AllocationSchedule(
+            frozenset({1, 2}),
+            (ExecutedRequest(write(9), {8, 9}),),
+        )
+        allocation.check_legal()
+
+
+class TestAvailability:
+    def test_paper_example_is_2_available(self):
+        assert paper_tau0().satisfies_t_available(2)
+
+    def test_paper_example_is_not_3_available(self):
+        assert not paper_tau0().satisfies_t_available(3)
+
+    def test_violation_pinpoints_request(self):
+        allocation = AllocationSchedule(
+            frozenset({1, 2}),
+            (
+                ExecutedRequest(write(1), {1}),
+                ExecutedRequest(read(1), {1}),
+            ),
+        )
+        with pytest.raises(AvailabilityViolationError) as excinfo:
+            allocation.check_t_available(2)
+        assert "#1" in str(excinfo.value)
+
+    def test_final_scheme_checked(self):
+        allocation = AllocationSchedule(
+            frozenset({1, 2}),
+            (ExecutedRequest(write(1), {1}),),
+        )
+        with pytest.raises(AvailabilityViolationError):
+            allocation.check_t_available(2)
+
+
+class TestCorrespondence:
+    def test_schedule_extraction(self, paper_schedule):
+        assert paper_tau0().schedule() == paper_schedule
+
+    def test_corresponds_to(self, paper_schedule):
+        assert paper_tau0().corresponds_to(paper_schedule)
+        assert not paper_tau0().corresponds_to(paper_schedule[:4])
+
+    def test_order_check_passes(self, paper_schedule):
+        check_request_order_preserved(paper_tau0(), paper_schedule)
+
+    def test_order_check_fails_on_mismatch(self):
+        with pytest.raises(IllegalScheduleError):
+            check_request_order_preserved(
+                paper_tau0(), Schedule.parse("w2 r4")
+            )
+
+
+class TestConstruction:
+    def test_empty_initial_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AllocationSchedule(frozenset(), ())
+
+    def test_non_executed_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AllocationSchedule(frozenset({1}), (read(1),))
+
+    def test_extended_appends(self):
+        tau = paper_tau0()
+        longer = tau.extended(ExecutedRequest(read(3), {3}))
+        assert len(longer) == len(tau) + 1
+        assert longer.steps[:5] == tau.steps
+
+    def test_str_rendering(self):
+        text = str(paper_tau0())
+        assert text.startswith("[init={3,4}]")
+        assert "_r1{1,2}" in text
+
+
+class TestBreakdowns:
+    def test_total_is_sum_of_parts(self):
+        tau = paper_tau0()
+        total = tau.total_breakdown()
+        parts = tau.breakdowns()
+        summed = parts[0]
+        for part in parts[1:]:
+            summed = summed + part
+        assert total == summed
+
+    def test_breakdown_count_matches_length(self):
+        assert len(paper_tau0().breakdowns()) == 5

@@ -1,0 +1,160 @@
+"""Unit tests for sweeps, crossover search, reporting and viz."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.crossover import find_crossover
+from repro.analysis.regions import theoretical_map
+from repro.analysis.report import (
+    bullet_list,
+    format_mapping,
+    format_ratio_check,
+    format_table,
+)
+from repro.analysis.sweep import cost_sweep, sweep
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import stationary
+from repro.viz.ascii_plot import render_region_map, render_series
+from repro.viz.csv_export import region_map_to_csv, sweep_to_csv
+from repro.workloads.uniform import UniformWorkload
+
+
+def tiny_sweep():
+    factories = {
+        "SA": lambda: StaticAllocation({1, 2}),
+        "DA": lambda: DynamicAllocation({1, 2}, primary=2),
+    }
+    return sweep(
+        "c_d",
+        [0.5, 1.5],
+        factories_for=lambda value: factories,
+        schedules_for=lambda value: UniformWorkload(range(1, 5), 16, 0.3).batch(
+            2, seed=1
+        ),
+        model_for=lambda value: stationary(0.1, value),
+    )
+
+
+class TestSweep:
+    def test_rows_in_parameter_order(self):
+        result = tiny_sweep()
+        assert [row.parameter for row in result.rows] == [0.5, 1.5]
+
+    def test_series_extraction(self):
+        result = tiny_sweep()
+        series = result.series("SA")
+        assert len(series) == 2
+        assert all(ratio >= 1.0 - 1e-9 for _, ratio in series)
+
+    def test_algorithms_listed(self):
+        assert tiny_sweep().algorithms() == ["DA", "SA"]
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("x", [], lambda v: {}, lambda v: [], lambda v: None)
+
+    def test_cost_sweep_skips_reference(self):
+        result = cost_sweep(
+            "write_fraction",
+            [0.1, 0.9],
+            factories_for=lambda value: {
+                "SA": lambda: StaticAllocation({1, 2})
+            },
+            schedules_for=lambda value: UniformWorkload(
+                range(1, 5), 20, value
+            ).batch(1),
+            model_for=lambda value: stationary(0.1, 0.5),
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0].mean_costs["SA"] > 0
+
+
+class TestCrossover:
+    def test_finds_simple_root(self):
+        crossover = find_crossover(lambda x: x - 0.4, 0.0, 1.0, tolerance=1e-4)
+        assert crossover is not None
+        assert crossover.parameter == pytest.approx(0.4, abs=1e-3)
+
+    def test_returns_none_without_sign_change(self):
+        assert find_crossover(lambda x: x + 1.0, 0.0, 1.0) is None
+
+    def test_exact_zero_at_endpoint(self):
+        crossover = find_crossover(lambda x: x, 0.0, 1.0)
+        assert crossover is not None
+        assert crossover.parameter == 0.0
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ConfigurationError):
+            find_crossover(lambda x: x, 1.0, 0.0)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "ratio"], [["SA", 2.5], ["DA", 2.3]], title="bounds"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "bounds"
+        assert "2.500" in text and "2.300" in text
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_table_needs_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_mapping(self):
+        text = format_mapping({"alpha": 1.5}, title="t")
+        assert "alpha" in text
+
+    def test_ratio_check_pass_fail(self):
+        assert format_ratio_check("SA", 2.4, 2.5).startswith("[PASS]")
+        assert format_ratio_check("SA", 2.6, 2.5).startswith("[FAIL]")
+        assert format_ratio_check("DA", 1.6, 1.5, kind="lower").startswith(
+            "[PASS]"
+        )
+        with pytest.raises(ConfigurationError):
+            format_ratio_check("SA", 1.0, 1.0, kind="sideways")
+
+    def test_bullets(self):
+        assert bullet_list(["x", "y"]) == "  - x\n  - y"
+
+
+class TestViz:
+    def test_region_map_rendering(self):
+        text = render_region_map(theoretical_map(steps=5), title="Figure 1")
+        assert text.startswith("Figure 1")
+        assert "D" in text and "." in text
+        assert "c_c" in text
+
+    def test_series_rendering(self):
+        text = render_series(
+            [(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)],
+            width=20,
+            height=5,
+            title="ratios",
+        )
+        assert "ratios" in text
+        assert "*" in text
+
+    def test_series_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            render_series([])
+
+    def test_region_map_csv(self):
+        csv_text = region_map_to_csv(theoretical_map(steps=3))
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "c_c,c_d,region,sa_ratio,da_ratio"
+        assert len(lines) == 1 + 9
+
+    def test_sweep_csv(self):
+        csv_text = sweep_to_csv(tiny_sweep())
+        lines = csv_text.strip().splitlines()
+        assert "c_d" in lines[0]
+        assert "SA_max_ratio" in lines[0]
+        assert len(lines) == 3

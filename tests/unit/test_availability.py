@@ -1,0 +1,135 @@
+"""Unit tests for the availability analysis (repro.analysis.availability)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.analysis.availability import (
+    availability_table,
+    best_quorums,
+    live_vote_distribution,
+    quorum_availability,
+    quorum_mixed_availability,
+    rowa_availability,
+    rowa_read_availability,
+    rowa_write_availability,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestROWA:
+    def test_read_availability_closed_form(self):
+        assert rowa_read_availability(0.9, 2) == pytest.approx(1 - 0.01)
+
+    def test_write_availability_closed_form(self):
+        assert rowa_write_availability(0.9, 2) == pytest.approx(0.81)
+
+    def test_more_copies_help_reads_hurt_writes(self):
+        p = 0.9
+        reads = [rowa_read_availability(p, t) for t in range(1, 6)]
+        writes = [rowa_write_availability(p, t) for t in range(1, 6)]
+        assert reads == sorted(reads)
+        assert writes == sorted(writes, reverse=True)
+
+    def test_perfect_nodes(self):
+        assert rowa_availability(1.0, 3, 0.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rowa_read_availability(1.5, 2)
+        with pytest.raises(ConfigurationError):
+            rowa_write_availability(0.9, 0)
+        with pytest.raises(ConfigurationError):
+            rowa_availability(0.9, 2, 2.0)
+
+
+class TestVoteDistribution:
+    def test_distribution_sums_to_one(self):
+        distribution = live_vote_distribution(0.8, [1, 1, 2, 3])
+        assert sum(distribution) == pytest.approx(1.0)
+
+    def test_uniform_votes_are_binomial(self):
+        p, n = 0.7, 5
+        distribution = live_vote_distribution(p, [1] * n)
+        for k in range(n + 1):
+            expected = math.comb(n, k) * p**k * (1 - p) ** (n - k)
+            assert distribution[k] == pytest.approx(expected)
+
+    def test_brute_force_agreement_with_weights(self):
+        p, votes = 0.6, [1, 2, 3]
+        distribution = live_vote_distribution(p, votes)
+        brute = [0.0] * (sum(votes) + 1)
+        for alive in itertools.product([0, 1], repeat=len(votes)):
+            probability = 1.0
+            total = 0
+            for up, weight in zip(alive, votes):
+                probability *= p if up else (1 - p)
+                total += weight if up else 0
+            brute[total] += probability
+        for got, want in zip(distribution, brute):
+            assert got == pytest.approx(want)
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            live_vote_distribution(0.5, [1, -1])
+
+
+class TestQuorumAvailability:
+    def test_majority_of_five(self):
+        # P[Binomial(5, .9) >= 3].
+        value = quorum_availability(0.9, [1] * 5, 3)
+        expected = sum(
+            math.comb(5, k) * 0.9**k * 0.1 ** (5 - k) for k in range(3, 6)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_quorum_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            quorum_availability(0.9, [1] * 3, 0)
+        with pytest.raises(ConfigurationError):
+            quorum_availability(0.9, [1] * 3, 4)
+
+    def test_intersection_enforced_for_mixed(self):
+        with pytest.raises(ConfigurationError):
+            quorum_mixed_availability(0.9, [1] * 5, 2, 3, 0.5)
+
+    def test_majority_writes_beat_rowa_writes(self):
+        # The reason for the failure fallback: ROWA writes need ALL
+        # copies; a majority quorum tolerates minority crashes.
+        p, n = 0.9, 5
+        rowa = rowa_write_availability(p, n)
+        quorum = quorum_availability(p, [1] * n, n // 2 + 1)
+        assert quorum > rowa
+
+
+class TestBestQuorums:
+    def test_read_heavy_mix_wants_small_read_quorum(self):
+        choice = best_quorums(0.9, [1] * 5, write_fraction=0.05)
+        assert choice.read_quorum < choice.write_quorum
+
+    def test_write_heavy_mix_wants_small_write_quorum(self):
+        choice = best_quorums(0.9, [1] * 5, write_fraction=0.95)
+        assert choice.write_quorum < choice.read_quorum
+
+    def test_chosen_pair_intersects(self):
+        choice = best_quorums(0.8, [1, 1, 2, 3], write_fraction=0.3)
+        assert choice.read_quorum + choice.write_quorum == 7 + 1
+
+    def test_dominates_symmetric_majority(self):
+        p, votes, mix = 0.9, [1] * 5, 0.1
+        best = best_quorums(p, votes, mix)
+        majority = quorum_mixed_availability(p, votes, 3, 3, mix)
+        assert best.mixed_availability >= majority.mixed_availability - 1e-12
+
+
+class TestTable:
+    def test_table_shape(self):
+        rows = availability_table(0.9, 5, thresholds=[2, 3, 4], write_fraction=0.2)
+        assert len(rows) == 3
+        for t, read_avail, write_avail, quorum_avail in rows:
+            assert 0 <= read_avail <= 1
+            assert 0 <= write_avail <= 1
+            assert 0 <= quorum_avail <= 1

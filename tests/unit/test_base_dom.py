@@ -1,0 +1,99 @@
+"""Unit tests for the OnlineDOM base machinery (repro.core.base)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import OnlineDOM, run_algorithm
+from repro.exceptions import (
+    AvailabilityViolationError,
+    ConfigurationError,
+    IllegalScheduleError,
+)
+from repro.model.request import ExecutedRequest, Request, read, write
+from repro.model.schedule import Schedule
+
+
+class EchoDOM(OnlineDOM):
+    """Serves everything at the lowest scheme member; never saves."""
+
+    name = "ECHO"
+
+    def decide(self, request: Request) -> ExecutedRequest:
+        if request.is_read:
+            if request.processor in self.current_scheme:
+                return ExecutedRequest(request, {request.processor})
+            return ExecutedRequest(request, {min(self.current_scheme)})
+        return ExecutedRequest(request, self.initial_scheme)
+
+
+class MisbehavingDOM(OnlineDOM):
+    """Deliberately broken variants used to exercise the validators."""
+
+    name = "BROKEN"
+
+    def __init__(self, scheme, mode):
+        super().__init__(scheme)
+        self.mode = mode
+
+    def decide(self, request: Request) -> ExecutedRequest:
+        if self.mode == "wrong-request":
+            return ExecutedRequest(read(99), {min(self.initial_scheme)})
+        if self.mode == "illegal-read":
+            return ExecutedRequest(request, {999})
+        if self.mode == "shrink":
+            return ExecutedRequest(request, {request.processor})
+        raise AssertionError("unknown mode")
+
+
+class TestLifecycle:
+    def test_run_produces_corresponding_schedule(self):
+        schedule = Schedule.parse("r1 w2 r5")
+        allocation = run_algorithm(EchoDOM({1, 2}), schedule)
+        assert allocation.corresponds_to(schedule)
+
+    def test_steps_taken_counts(self):
+        dom = EchoDOM({1, 2})
+        dom.online_step(read(1))
+        dom.online_step(write(2))
+        assert dom.steps_taken == 2
+
+    def test_reset_clears_steps(self):
+        dom = EchoDOM({1, 2})
+        dom.online_step(read(1))
+        dom.reset()
+        assert dom.steps_taken == 0
+        assert dom.current_scheme == dom.initial_scheme
+
+    def test_allocation_schedule_reflects_partial_progress(self):
+        dom = EchoDOM({1, 2})
+        dom.online_step(read(1))
+        assert len(dom.allocation_schedule()) == 1
+
+
+class TestValidation:
+    def test_answering_wrong_request_rejected(self):
+        dom = MisbehavingDOM({1, 2}, "wrong-request")
+        with pytest.raises(IllegalScheduleError):
+            dom.online_step(write(1))
+
+    def test_illegal_read_rejected(self):
+        dom = MisbehavingDOM({1, 2}, "illegal-read")
+        with pytest.raises(IllegalScheduleError):
+            dom.online_step(read(5))
+
+    def test_scheme_shrink_below_t_rejected(self):
+        dom = MisbehavingDOM({1, 2}, "shrink")
+        with pytest.raises(AvailabilityViolationError):
+            dom.online_step(write(1))
+
+    def test_threshold_defaults_to_scheme_size(self):
+        assert EchoDOM({1, 2, 3}).threshold == 3
+
+    def test_explicit_threshold_below_scheme_size(self):
+        dom = EchoDOM({1, 2, 3}, threshold=2)
+        assert dom.threshold == 2
+
+    def test_threshold_above_scheme_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EchoDOM({1, 2}, threshold=3)

@@ -1,0 +1,146 @@
+"""Unit tests for the baseline algorithms (CDDR, convergent, caching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.caching import WriteInvalidationCaching
+from repro.core.cddr import SkiRentalReplication
+from repro.core.convergent import ConvergentAllocation
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import stationary
+from repro.model.schedule import Schedule
+
+
+class TestSkiRental:
+    def test_rejects_zero_rent_limit(self):
+        with pytest.raises(ConfigurationError):
+            SkiRentalReplication({1, 2}, rent_limit=0)
+
+    def test_first_foreign_read_rents(self):
+        cddr = SkiRentalReplication({1, 2}, rent_limit=2, primary=2)
+        allocation = cddr.run(Schedule.parse("r5"))
+        assert not allocation[0].saving
+        assert 5 not in cddr.current_scheme
+
+    def test_second_foreign_read_buys(self):
+        cddr = SkiRentalReplication({1, 2}, rent_limit=2, primary=2)
+        allocation = cddr.run(Schedule.parse("r5 r5 r5"))
+        assert not allocation[0].saving
+        assert allocation[1].saving
+        assert allocation[2].execution_set == frozenset({5})
+
+    def test_write_resets_rental_counters(self):
+        cddr = SkiRentalReplication({1, 2}, rent_limit=2, primary=2)
+        allocation = cddr.run(Schedule.parse("r5 w1 r5"))
+        # The pre-write rental must not carry over.
+        assert not allocation[2].saving
+
+    def test_rent_limit_one_behaves_like_da(self, sc_model):
+        schedule = Schedule.parse("r5 r6 w1 r5 r5 w7 r7 r6")
+        cddr = SkiRentalReplication({1, 2}, rent_limit=1, primary=2)
+        da = DynamicAllocation({1, 2}, primary=2)
+        assert sc_model.schedule_cost(cddr.run(schedule)) == pytest.approx(
+            sc_model.schedule_cost(da.run(schedule))
+        )
+
+    def test_renting_beats_da_on_one_shot_readers(self):
+        # Each reader reads once, then a write invalidates: saving is
+        # wasted work that renting avoids (the c_c,c_d -> 0 regime of
+        # Proposition 2).
+        model = stationary(0.01, 0.01)
+        schedule = Schedule.parse("r5 r6 w1 r7 r8 w1")
+        cddr = SkiRentalReplication({1, 2}, rent_limit=2, primary=2)
+        da = DynamicAllocation({1, 2}, primary=2)
+        assert model.schedule_cost(cddr.run(schedule)) < model.schedule_cost(
+            da.run(schedule)
+        )
+
+    def test_output_valid(self):
+        cddr = SkiRentalReplication({1, 2, 3}, rent_limit=3)
+        allocation = cddr.run(Schedule.parse("r7 r7 r7 r7 w8 r7 w1 r9"))
+        allocation.check_legal()
+        allocation.check_t_available(3)
+
+
+class TestConvergent:
+    def test_needs_positive_window(self, sc_model):
+        with pytest.raises(ConfigurationError):
+            ConvergentAllocation({1, 2}, sc_model, window=0)
+
+    def test_reads_never_save(self, sc_model):
+        conv = ConvergentAllocation({1, 2}, sc_model)
+        allocation = conv.run(Schedule.parse("r5 r5 r5"))
+        assert all(not step.saving for step in allocation)
+
+    def test_converges_to_heavy_reader(self, sc_model):
+        conv = ConvergentAllocation({1, 2}, sc_model, window=16)
+        # Processor 7 reads heavily; after enough evidence a write
+        # should replicate to 7.
+        schedule = Schedule.parse("r7 r7 r7 r7 r7 r7 r7 r7 w1")
+        conv.run(schedule)
+        assert 7 in conv.current_scheme
+
+    def test_respects_threshold(self, sc_model):
+        conv = ConvergentAllocation({1, 2, 3}, sc_model, window=8)
+        allocation = conv.run(Schedule.parse("w9 w9 w9 r1 w9"))
+        allocation.check_t_available(3)
+        allocation.check_legal()
+
+    def test_window_shift_keeps_scheme_minimal(self, sc_model):
+        conv = ConvergentAllocation({1, 2}, sc_model, window=4)
+        # Heavy reads by 7 long ago, then writes only: the window no
+        # longer justifies replicas beyond the threshold.  7 may remain
+        # as threshold padding (keeping a current member avoids an
+        # invalidation), but the scheme must shrink to exactly t.
+        schedule = Schedule.parse("r7 r7 r7 r7 w1 w1 w1 w1 w1")
+        conv.run(schedule)
+        assert len(conv.current_scheme) == 2
+        assert 1 in conv.current_scheme
+
+    def test_pattern_shift_moves_replica(self, sc_model):
+        conv = ConvergentAllocation({1, 2}, sc_model, window=8)
+        # Phase 1 concentrates reads at 7, phase 2 at 9: after phase 2
+        # fills the window, a write replicates to 9 and drops 7.
+        phase1 = Schedule.parse("r7 r7 r7 r7 r7 r7 r7 r7 w1")
+        phase2 = Schedule.parse("r9 r9 r9 r9 r9 r9 r9 r9 w1")
+        conv.run(phase1 + phase2)
+        assert 9 in conv.current_scheme
+        assert 7 not in conv.current_scheme
+
+
+class TestCaching:
+    def test_capacity_below_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteInvalidationCaching({1, 2, 3}, capacity=2)
+
+    def test_foreign_reads_cache(self):
+        cache = WriteInvalidationCaching({1, 2})
+        allocation = cache.run(Schedule.parse("r5"))
+        assert allocation[0].saving
+        assert 5 in cache.current_scheme
+
+    def test_write_keeps_mru_readers(self):
+        cache = WriteInvalidationCaching({1, 2}, capacity=2)
+        cache.run(Schedule.parse("r5 r6 w7"))
+        # Writer 7 plus the most recently used reader 6.
+        assert cache.current_scheme == frozenset({6, 7})
+
+    def test_core_drifts_with_access_pattern(self):
+        cache = WriteInvalidationCaching({1, 2}, capacity=2)
+        cache.run(Schedule.parse("r5 w5 r6 w6"))
+        assert 5 in cache.current_scheme or 6 in cache.current_scheme
+        assert 1 not in cache.current_scheme
+
+    def test_output_valid(self):
+        cache = WriteInvalidationCaching({1, 2, 3}, capacity=3)
+        allocation = cache.run(Schedule.parse("r7 r8 w9 r7 w1 r2 r3 w8"))
+        allocation.check_legal()
+        allocation.check_t_available(3)
+
+    def test_reset_restores_initial_mru(self):
+        cache = WriteInvalidationCaching({1, 2})
+        first = cache.run(Schedule.parse("r5 w6 r7"))
+        second = cache.run(Schedule.parse("r5 w6 r7"))
+        assert first.steps == second.steps

@@ -1,0 +1,95 @@
+"""Unit tests for the beam-search OPT bound (repro.core.beam_optimal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beam_optimal import BeamOptimal, optimal_sandwich
+from repro.core.offline_optimal import OfflineOptimal
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import stationary
+from repro.model.schedule import Schedule
+from repro.workloads.uniform import UniformWorkload
+
+MODEL = stationary(0.2, 1.5)
+SCHEME = frozenset({1, 2})
+
+
+class TestSoundness:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "r5 r5 r5",
+            "r5 w1 r5 r6 w6 r6",
+            "w3 w4 w5 r3",
+            "r1 r1 r2 w2 r2 r2 r2",
+        ],
+    )
+    def test_beam_never_below_exact_opt(self, text):
+        schedule = Schedule.parse(text)
+        exact = OfflineOptimal(MODEL).optimal_cost(schedule, SCHEME)
+        beam = BeamOptimal(MODEL).solve(schedule, SCHEME)
+        assert beam.cost >= exact - 1e-9
+
+    def test_witness_is_valid_and_priced_right(self):
+        schedule = UniformWorkload(range(1, 8), 40, 0.3).generate(2)
+        result = BeamOptimal(MODEL).solve(schedule, SCHEME)
+        result.allocation.check_legal()
+        result.allocation.check_t_available(2)
+        assert result.allocation.corresponds_to(schedule)
+        assert MODEL.schedule_cost(result.allocation) == pytest.approx(
+            result.cost
+        )
+
+    def test_tight_on_save_once_schedules(self):
+        # The structured targets contain the optimum here: save at the
+        # reader, read locally, write back to the pair.
+        schedule = Schedule.parse("r5 r5 r5 r5")
+        exact = OfflineOptimal(MODEL).optimal_cost(schedule, SCHEME)
+        beam = BeamOptimal(MODEL).solve(schedule, SCHEME)
+        assert beam.cost == pytest.approx(exact)
+
+    def test_handles_universes_beyond_the_exact_limit(self):
+        # 20 processors: far past the exact DP's reach.
+        schedule = UniformWorkload(range(1, 21), 60, 0.25).generate(7)
+        result = BeamOptimal(MODEL, beam_width=32).solve(schedule, SCHEME)
+        assert result.cost > 0
+        result.allocation.check_legal()
+
+
+class TestSandwich:
+    def test_sandwich_brackets_the_exact_optimum(self):
+        schedule = Schedule.parse("r5 r6 w1 r5 r6 w2 r5")
+        sandwich = optimal_sandwich(schedule, SCHEME, MODEL)
+        exact = OfflineOptimal(MODEL).optimal_cost(schedule, SCHEME)
+        assert sandwich.lower <= exact + 1e-9
+        assert exact <= sandwich.upper + 1e-9
+        assert sandwich.contains(exact)
+
+    def test_sandwich_on_large_instances(self):
+        schedule = UniformWorkload(range(1, 16), 50, 0.3).generate(3)
+        sandwich = optimal_sandwich(schedule, SCHEME, MODEL, beam_width=32)
+        assert sandwich.lower <= sandwich.upper + 1e-9
+
+
+class TestConfiguration:
+    def test_beam_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            BeamOptimal(MODEL, beam_width=0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            BeamOptimal(MODEL, threshold=1)
+
+    def test_universe_guard(self):
+        beam = BeamOptimal(MODEL, max_processors=5)
+        schedule = UniformWorkload(range(1, 10), 10, 0.3).generate(0)
+        with pytest.raises(ConfigurationError):
+            beam.solve(schedule, SCHEME)
+
+    def test_narrow_beam_still_sound(self):
+        schedule = Schedule.parse("r5 w1 r6 w2 r5 r6")
+        exact = OfflineOptimal(MODEL).optimal_cost(schedule, SCHEME)
+        narrow = BeamOptimal(MODEL, beam_width=1).solve(schedule, SCHEME)
+        wide = BeamOptimal(MODEL, beam_width=256).solve(schedule, SCHEME)
+        assert narrow.cost >= wide.cost - 1e-9 >= exact - 1e-9

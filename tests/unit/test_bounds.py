@@ -1,0 +1,115 @@
+"""Unit tests for the theorem-bound functions (repro.analysis.bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    DA_LOWER_BOUND,
+    DA_MOBILE_CEILING,
+    check_bounds_consistency,
+    da_competitive_factor,
+    da_lower_bound,
+    da_superior,
+    feasible,
+    sa_competitive_factor,
+    sa_is_competitive,
+    sa_lower_bound,
+    sa_superior,
+)
+from repro.model.cost_model import CostModel, mobile, stationary
+
+
+class TestSABounds:
+    def test_theorem_1_factor(self):
+        # SA is (1 + c_c + c_d)-competitive.
+        assert sa_competitive_factor(stationary(0.3, 1.2)) == pytest.approx(2.5)
+
+    def test_proposition_1_tightness(self):
+        model = stationary(0.3, 1.2)
+        assert sa_lower_bound(model) == sa_competitive_factor(model)
+
+    def test_proposition_3_mobile_unbounded(self):
+        assert math.isinf(sa_competitive_factor(mobile(0.3, 1.2)))
+        assert not sa_is_competitive(mobile(0.3, 1.2))
+        assert sa_is_competitive(stationary(0.3, 1.2))
+
+    def test_unnormalized_models_are_normalized_first(self):
+        model = CostModel(2.0, 0.6, 2.4)
+        assert sa_competitive_factor(model) == pytest.approx(1 + 0.3 + 1.2)
+
+
+class TestDABounds:
+    def test_theorem_2_factor(self):
+        # c_d <= 1: the general 2 + 2 c_c bound applies.
+        assert da_competitive_factor(stationary(0.3, 0.8)) == pytest.approx(2.6)
+
+    def test_theorem_3_improvement_when_cd_above_one(self):
+        assert da_competitive_factor(stationary(0.3, 1.2)) == pytest.approx(2.3)
+
+    def test_theorem_3_boundary_is_strict(self):
+        # At c_d = 1 exactly, only Theorem 2 applies.
+        assert da_competitive_factor(stationary(0.3, 1.0)) == pytest.approx(2.6)
+
+    def test_theorem_4_mobile_factor(self):
+        assert da_competitive_factor(mobile(0.5, 2.0)) == pytest.approx(2.75)
+
+    def test_theorem_4_ceiling_of_five(self):
+        # c_c <= c_d makes 2 + 3 c_c / c_d <= 5.
+        assert da_competitive_factor(mobile(2.0, 2.0)) == pytest.approx(5.0)
+        assert DA_MOBILE_CEILING == 5.0
+
+    def test_free_mobile_model_is_trivially_competitive(self):
+        assert da_competitive_factor(mobile(0.0, 0.0)) == 1.0
+
+    def test_proposition_2_lower_bound(self):
+        assert da_lower_bound(stationary(0.3, 1.2)) == DA_LOWER_BOUND
+        assert da_lower_bound(mobile(0.3, 1.2)) == DA_LOWER_BOUND
+
+
+class TestSuperiorityRegions:
+    def test_da_superior_when_cd_above_one(self):
+        assert da_superior(stationary(0.3, 1.2))
+        assert not da_superior(stationary(0.3, 1.0))
+
+    def test_sa_superior_when_costs_tiny(self):
+        assert sa_superior(stationary(0.1, 0.2))
+        assert not sa_superior(stationary(0.2, 0.3))
+
+    def test_mobile_da_always_superior(self):
+        assert da_superior(mobile(0.3, 1.2))
+        assert not sa_superior(mobile(0.3, 1.2))
+
+    def test_superiority_is_consistent(self):
+        # The regions never overlap.
+        for c_c, c_d in [(0.0, 0.1), (0.1, 0.4), (0.3, 1.5), (1.0, 2.0)]:
+            model = stationary(c_c, c_d)
+            assert not (sa_superior(model) and da_superior(model))
+
+
+class TestFeasibility:
+    def test_diagonal_feasible(self):
+        assert feasible(1.0, 1.0)
+
+    def test_above_diagonal_infeasible(self):
+        assert not feasible(1.5, 1.0)
+
+    def test_negative_infeasible(self):
+        assert not feasible(-0.1, 1.0)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            stationary(0.0, 0.0),
+            stationary(0.3, 1.2),
+            stationary(1.0, 1.0),
+            mobile(0.5, 2.0),
+            mobile(0.0, 0.0),
+        ],
+    )
+    def test_lower_bounds_below_upper_bounds(self, model):
+        check_bounds_consistency(model)

@@ -1,0 +1,113 @@
+"""Unit tests for hardware calibration (repro.analysis.calibration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import (
+    DeploymentAdvice,
+    MobileTariff,
+    StationaryHardware,
+    advise_mobile,
+    advise_stationary,
+    calibrate_mobile,
+    calibrate_stationary,
+)
+from repro.analysis.regions import Region
+from repro.exceptions import ConfigurationError
+
+
+class TestStationaryCalibration:
+    def test_defaults_produce_a_feasible_point(self):
+        model = calibrate_stationary(StationaryHardware())
+        assert model.c_io == 1.0
+        assert 0 < model.c_c <= model.c_d
+
+    def test_arithmetic(self):
+        hardware = StationaryHardware(
+            control_bytes=100.0,
+            object_bytes=10_000.0,
+            bandwidth_bytes_per_ms=1000.0,
+            one_way_latency_ms=1.0,
+            io_service_ms=2.0,
+        )
+        model = calibrate_stationary(hardware)
+        assert model.c_c == pytest.approx((1.0 + 0.1) / 2.0)
+        assert model.c_d == pytest.approx((1.0 + 10.0) / 2.0)
+
+    def test_big_objects_slow_disks_favour_da(self):
+        # Large object, slow network relative to disk: c_d >> 1.
+        hardware = StationaryHardware(
+            object_bytes=1_000_000.0,
+            bandwidth_bytes_per_ms=1000.0,
+            io_service_ms=5.0,
+        )
+        advice = advise_stationary(hardware)
+        assert advice.region is Region.DA_SUPERIOR
+        assert "dynamic allocation" in advice.recommendation
+
+    def test_fast_network_small_objects_favour_sa(self):
+        # Gigabit LAN, tiny object, slow disk: communication ~ free.
+        hardware = StationaryHardware(
+            control_bytes=64.0,
+            object_bytes=256.0,
+            bandwidth_bytes_per_ms=125_000.0,
+            one_way_latency_ms=0.05,
+            io_service_ms=10.0,
+        )
+        advice = advise_stationary(hardware)
+        assert advice.region is Region.SA_SUPERIOR
+        assert "static allocation" in advice.recommendation
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StationaryHardware(io_service_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            StationaryHardware(control_bytes=1000.0, object_bytes=10.0)
+
+
+class TestMobileCalibration:
+    def test_charges(self):
+        tariff = MobileTariff(
+            per_message_fee=0.1,
+            per_kilobyte_fee=0.02,
+            control_bytes=512.0,
+            object_bytes=2048.0,
+        )
+        model = calibrate_mobile(tariff)
+        assert model.is_mobile
+        assert model.c_c == pytest.approx(0.1 + 0.01)
+        assert model.c_d == pytest.approx(0.1 + 0.04)
+
+    def test_mobile_always_recommends_da(self):
+        advice = advise_mobile(MobileTariff())
+        assert advice.region is Region.DA_SUPERIOR
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MobileTariff(per_message_fee=-0.1)
+        with pytest.raises(ConfigurationError):
+            MobileTariff(per_message_fee=0.0, per_kilobyte_fee=0.0)
+        with pytest.raises(ConfigurationError):
+            MobileTariff(control_bytes=4096.0, object_bytes=64.0)
+
+    def test_flat_fee_only_is_fine(self):
+        model = calibrate_mobile(
+            MobileTariff(per_message_fee=0.2, per_kilobyte_fee=0.0)
+        )
+        assert model.c_c == model.c_d == pytest.approx(0.2)
+
+
+class TestAdvice:
+    def test_contested_regime_says_measure(self):
+        # Pick hardware landing in the Unknown wedge: c_d ~ 0.6, c_c small.
+        hardware = StationaryHardware(
+            control_bytes=64.0,
+            object_bytes=5_000.0,
+            bandwidth_bytes_per_ms=1000.0,
+            one_way_latency_ms=0.2,
+            io_service_ms=9.0,
+        )
+        advice = advise_stationary(hardware)
+        assert advice.region is Region.UNKNOWN
+        assert "measure" in advice.recommendation

@@ -1,0 +1,195 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestBounds:
+    def test_stationary_point(self, capsys):
+        code, out, _ = run_cli(capsys, "bounds", "--cc", "0.3", "--cd", "1.2")
+        assert code == 0
+        assert "2.500" in out  # SA factor
+        assert "2.300" in out  # DA factor (Thm 3)
+        assert "DA" in out
+
+    def test_mobile_point(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bounds", "--cc", "0.5", "--cd", "2.0", "--mobile"
+        )
+        assert code == 0
+        assert "inf" in out  # SA not competitive
+
+    def test_infeasible_point_reports_error(self, capsys):
+        code, _, err = run_cli(capsys, "bounds", "--cc", "2.0", "--cd", "1.0")
+        assert code == 1
+        assert "error" in err
+
+
+class TestCompare:
+    def test_inline_schedule(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "compare",
+            "--schedule", "r5 r5 w1 r5",
+            "--algorithms", "SA,DA",
+        )
+        assert code == 0
+        assert "SA" in out and "DA" in out and "exact" in out
+
+    def test_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("r5 r5\nw1 r5\n")
+        code, out, _ = run_cli(capsys, "compare", "--trace", str(path))
+        assert code == 0
+        assert "4 requests" in out
+
+    def test_missing_input_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "compare")
+        assert code == 2
+        assert "schedule" in err
+
+    def test_custom_scheme(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "compare",
+            "--schedule", "r1",
+            "--scheme", "1,2,3",
+        )
+        assert code == 0
+        assert "[1, 2, 3]" in out
+
+
+class TestRegions:
+    def test_theoretical_map(self, capsys):
+        code, out, _ = run_cli(capsys, "regions", "--steps", "5")
+        assert code == 0
+        assert "Figure 1 (theory)" in out
+        assert "D" in out and "S" in out
+
+    def test_mobile_map(self, capsys):
+        code, out, _ = run_cli(capsys, "regions", "--mobile", "--steps", "4")
+        assert code == 0
+        assert "Figure 2" in out
+        # No SA region anywhere in the mobile map's grid rows.
+        grid_rows = [line for line in out.splitlines() if "|" in line]
+        assert grid_rows
+        assert all("S" not in row for row in grid_rows)
+
+    def test_empirical_map(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "regions", "--empirical", "--steps", "3"
+        )
+        assert code == 0
+        assert "measured" in out
+
+
+class TestSimulate:
+    def test_da_protocol(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--schedule", "r5 w1 r5", "--protocol", "DA"
+        )
+        assert code == 0
+        assert "control messages" in out
+        assert "priced cost" in out
+
+
+class TestWorkload:
+    def test_stdout_trace(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "workload", "--kind", "uniform", "--length", "12"
+        )
+        assert code == 0
+        assert len(out.split()) == 12
+
+    def test_file_output_roundtrips(self, capsys, tmp_path):
+        path = tmp_path / "w.txt"
+        code, out, _ = run_cli(
+            capsys,
+            "workload", "--kind", "markov", "--length", "30",
+            "--out", str(path),
+        )
+        assert code == 0
+        from repro.workloads import trace
+
+        assert len(trace.load(path)) == 30
+
+    def test_mobile_kind(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "workload", "--kind", "mobile", "--length", "10"
+        )
+        assert code == 0
+        assert len(out.split()) == 10
+
+
+class TestExpected:
+    def test_table_and_crossover(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "expected", "--cc", "0.1", "--cd", "0.6", "--n", "6"
+        )
+        assert code == 0
+        assert "write fraction" in out
+        assert "crossover" in out
+
+
+class TestDescribe:
+    def test_inline_schedule(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "describe", "--schedule", "r5 r5 r5 w1 r5"
+        )
+        assert code == 0
+        assert "write-free segments" in out
+
+    def test_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("r5 w1 r5\n")
+        code, out, _ = run_cli(capsys, "describe", "--trace", str(path))
+        assert code == 0
+        assert "3 requests" in out
+
+    def test_missing_input(self, capsys):
+        code, _, err = run_cli(capsys, "describe")
+        assert code == 2
+
+
+class TestCalibrate:
+    def test_wired_defaults(self, capsys):
+        code, out, _ = run_cli(capsys, "calibrate")
+        assert code == 0
+        assert "SC(" in out
+        assert "recommendation" in out
+
+    def test_wireless_tariff(self, capsys):
+        code, out, _ = run_cli(capsys, "calibrate", "--tariff")
+        assert code == 0
+        assert "MC(" in out
+        assert "dynamic allocation" in out
+
+    def test_big_object_lands_in_da_region(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "calibrate",
+            "--object-bytes", "1000000", "--bandwidth", "1000",
+        )
+        assert code == 0
+        assert "DA" in out
+
+
+class TestAvailability:
+    def test_rowa_table_and_best_quorums(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "availability", "--p", "0.9", "--n", "5",
+            "--write-fraction", "0.1",
+        )
+        assert code == 0
+        assert "ROWA" in out
+        assert "majority quorum" in out
+        assert "best quorums" in out
+        assert "r=2" in out  # read-heavy mix prefers small read quorums

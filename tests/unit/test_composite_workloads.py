@@ -1,0 +1,89 @@
+"""Unit tests for composite workloads (repro.workloads.composite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.composite import ConcatWorkload, MixtureWorkload
+from repro.workloads.markov import MarkovWorkload
+from repro.workloads.uniform import UniformWorkload
+
+
+def uniform(processors, length, write_fraction=0.0):
+    return UniformWorkload(processors, length, write_fraction)
+
+
+class TestMixture:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixtureWorkload([], [], 10)
+        with pytest.raises(ConfigurationError):
+            MixtureWorkload([uniform([1], 10)], [0.5, 0.5], 10)
+        with pytest.raises(ConfigurationError):
+            MixtureWorkload([uniform([1], 10)], [-1.0], 10)
+        with pytest.raises(ConfigurationError):
+            MixtureWorkload([uniform([1], 10)], [0.0], 10)
+
+    def test_length_and_processors(self):
+        mixture = MixtureWorkload(
+            [uniform([1, 2], 50), uniform([8, 9], 50)], [1.0, 1.0], 60
+        )
+        schedule = mixture.generate(0)
+        assert len(schedule) == 60
+        assert schedule.processors <= frozenset({1, 2, 8, 9})
+
+    def test_weights_steer_composition(self):
+        heavy_left = MixtureWorkload(
+            [uniform([1], 500), uniform([9], 500)], [9.0, 1.0], 400
+        )
+        schedule = heavy_left.generate(1)
+        counts = schedule.request_counts()
+        assert counts[1]["reads"] > counts.get(9, {"reads": 0})["reads"] * 3
+
+    def test_deterministic(self):
+        mixture = MixtureWorkload(
+            [uniform([1, 2], 40), uniform([8, 9], 40)], [1.0, 1.0], 50
+        )
+        assert mixture.generate(3) == mixture.generate(3)
+
+    def test_pool_exhaustion_truncates(self):
+        # Components too short to fill the requested length: the
+        # mixture stops rather than inventing requests.
+        mixture = MixtureWorkload(
+            [uniform([1], 5), uniform([2], 5)], [1.0, 1.0], 100
+        )
+        assert len(mixture.generate(0)) == 10
+
+    def test_component_order_preserved_within_subsequence(self):
+        bursty = MarkovWorkload([1, 2, 3], 60, 0.0, locality=1.0)
+        mixture = MixtureWorkload(
+            [bursty, uniform([9], 60)], [1.0, 1.0], 80
+        )
+        schedule = mixture.generate(5)
+        # The bursty component's subsequence keeps its burst structure:
+        # its requests, read in order, equal a prefix of its own output.
+        own = [r for r in schedule if r.processor != 9]
+        expected = list(bursty.generate(5 * 31 + 1))[: len(own)]
+        assert own == expected
+
+
+class TestConcat:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConcatWorkload([])
+
+    def test_phases_back_to_back(self):
+        concat = ConcatWorkload([uniform([1], 20), uniform([9], 30)])
+        schedule = concat.generate(0)
+        assert len(schedule) == 50
+        assert schedule[:20].processors == frozenset({1})
+        assert schedule[20:].processors == frozenset({9})
+
+    def test_length_property(self):
+        concat = ConcatWorkload([uniform([1], 20), uniform([9], 30)])
+        assert concat.length == 50
+
+    def test_deterministic(self):
+        concat = ConcatWorkload([uniform([1, 2], 20), uniform([8, 9], 20)])
+        assert concat.generate(7) == concat.generate(7)

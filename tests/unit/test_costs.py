@@ -1,0 +1,123 @@
+"""Unit tests for the §3.2/§3.3 cost formulas (repro.model.costs).
+
+Every numeric expectation below is computed by hand from the paper's
+formulas, with (c_io, c_c, c_d) kept symbolic through the breakdown
+counts and priced explicitly in the assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.accounting import CostBreakdown
+from repro.model.costs import (
+    next_scheme,
+    read_breakdown,
+    request_breakdown,
+    write_breakdown,
+)
+from repro.model.request import ExecutedRequest, read, write
+
+SCHEME = frozenset({1, 2, 3})
+
+
+class TestReadCosts:
+    def test_local_singleton_read(self):
+        # i in X, |X| = 1: cost = c_io exactly.
+        executed = ExecutedRequest(read(1), {1})
+        assert read_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=1, control_messages=0, data_messages=0
+        )
+
+    def test_remote_singleton_read(self):
+        # i not in X, |X| = 1: cost = c_c + c_io + c_d (paper §1.2).
+        executed = ExecutedRequest(read(5), {1})
+        assert read_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=1, control_messages=1, data_messages=1
+        )
+
+    def test_multi_copy_read_with_reader_inside(self):
+        # i in X, |X| = 3: (|X|-1) c_c + |X| c_io + (|X|-1) c_d.
+        executed = ExecutedRequest(read(1), {1, 2, 3})
+        assert read_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=3, control_messages=2, data_messages=2
+        )
+
+    def test_multi_copy_read_with_reader_outside(self):
+        # i not in X, |X| = 2: |X| (c_c + c_io + c_d).
+        executed = ExecutedRequest(read(5), {1, 2})
+        assert read_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=2, control_messages=2, data_messages=2
+        )
+
+    def test_saving_read_adds_one_io(self):
+        plain = ExecutedRequest(read(5), {1})
+        saving = ExecutedRequest(read(5), {1}, saving=True)
+        assert read_breakdown(saving, SCHEME) == read_breakdown(
+            plain, SCHEME
+        ) + CostBreakdown(io_ops=1)
+
+    def test_read_breakdown_rejects_writes(self):
+        with pytest.raises(ConfigurationError):
+            read_breakdown(ExecutedRequest(write(1), {1}), SCHEME)
+
+
+class TestWriteCosts:
+    def test_writer_inside_execution_set(self):
+        # i in X: |Y \ X| c_c + (|X|-1) c_d + |X| c_io.
+        executed = ExecutedRequest(write(1), {1, 2})
+        # Y = {1,2,3}, X = {1,2}: Y\X = {3}.
+        assert write_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=2, control_messages=1, data_messages=1
+        )
+
+    def test_writer_outside_execution_set(self):
+        # i not in X: |Y \ X \ {i}| c_c + |X| c_d + |X| c_io.
+        executed = ExecutedRequest(write(3), {1, 2})
+        # Y = {1,2,3}, X = {1,2}: Y\X\{3} = {} — the writer needs no
+        # invalidation, it knows its copy is obsolete.
+        assert write_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=2, control_messages=0, data_messages=2
+        )
+
+    def test_write_with_no_stale_copies(self):
+        executed = ExecutedRequest(write(1), {1, 2, 3})
+        assert write_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=3, control_messages=0, data_messages=2
+        )
+
+    def test_write_from_outsider_invalidates_all_old_copies(self):
+        executed = ExecutedRequest(write(9), {9, 5})
+        # Y\X = {1,2,3}, writer in X: 3 invalidations.
+        assert write_breakdown(executed, SCHEME) == CostBreakdown(
+            io_ops=2, control_messages=3, data_messages=1
+        )
+
+    def test_write_breakdown_rejects_reads(self):
+        with pytest.raises(ConfigurationError):
+            write_breakdown(ExecutedRequest(read(1), {1}), SCHEME)
+
+
+class TestRequestBreakdownDispatch:
+    def test_dispatches_reads(self):
+        executed = ExecutedRequest(read(1), {1})
+        assert request_breakdown(executed, SCHEME).io_ops == 1
+
+    def test_dispatches_writes(self):
+        executed = ExecutedRequest(write(1), {1, 2})
+        assert request_breakdown(executed, SCHEME).data_messages == 1
+
+
+class TestSchemeEvolution:
+    def test_write_replaces_scheme(self):
+        executed = ExecutedRequest(write(9), {9, 5})
+        assert next_scheme(executed, SCHEME) == frozenset({5, 9})
+
+    def test_saving_read_joins_scheme(self):
+        executed = ExecutedRequest(read(9), {1}, saving=True)
+        assert next_scheme(executed, SCHEME) == frozenset({1, 2, 3, 9})
+
+    def test_plain_read_keeps_scheme(self):
+        executed = ExecutedRequest(read(9), {1})
+        assert next_scheme(executed, SCHEME) == SCHEME

@@ -1,0 +1,156 @@
+"""Unit tests for the DA algorithm (repro.core.dynamic_allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.schedule import Schedule
+
+
+class TestConstruction:
+    def test_default_primary_is_largest(self):
+        da = DynamicAllocation({1, 2, 3})
+        assert da.primary == 3
+        assert da.core == frozenset({1, 2})
+
+    def test_explicit_primary(self):
+        da = DynamicAllocation({1, 2, 3}, primary=1)
+        assert da.primary == 1
+        assert da.core == frozenset({2, 3})
+
+    def test_primary_must_be_in_scheme(self):
+        with pytest.raises(ConfigurationError):
+            DynamicAllocation({1, 2}, primary=5)
+
+    def test_core_size_is_t_minus_one(self):
+        da = DynamicAllocation({1, 2, 3, 4})
+        assert len(da.core) == da.threshold - 1
+
+    def test_rejects_singleton_scheme(self):
+        with pytest.raises(ConfigurationError):
+            DynamicAllocation({1})
+
+
+class TestReads:
+    def test_data_processor_reads_locally(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("r1 r2"))
+        assert allocation[0].execution_set == frozenset({1})
+        assert allocation[1].execution_set == frozenset({2})
+        assert all(not step.saving for step in allocation)
+
+    def test_foreign_read_is_saving_and_served_by_core(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("r5"))
+        (step,) = allocation
+        assert step.saving
+        assert step.execution_set <= da.core
+
+    def test_reader_joins_scheme(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        da.run(Schedule.parse("r5"))
+        assert 5 in da.current_scheme
+
+    def test_second_read_by_joiner_is_local(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("r5 r5"))
+        assert allocation[1].execution_set == frozenset({5})
+        assert not allocation[1].saving
+
+    def test_join_list_records_joiner(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        da.run(Schedule.parse("r5 r6"))
+        assert da.join_list(1) == frozenset({5, 6})
+
+    def test_join_list_only_for_core_members(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        with pytest.raises(ConfigurationError):
+            da.join_list(2)
+
+
+class TestWrites:
+    def test_insider_write_targets_core_plus_primary(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("w1"))
+        assert allocation[0].execution_set == frozenset({1, 2})
+
+    def test_primary_write_targets_core_plus_primary(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("w2"))
+        assert allocation[0].execution_set == frozenset({1, 2})
+
+    def test_foreign_write_targets_core_plus_writer(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("w7"))
+        assert allocation[0].execution_set == frozenset({1, 7})
+
+    def test_write_evicts_joiners(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        da.run(Schedule.parse("r5 r6 w1"))
+        assert da.current_scheme == frozenset({1, 2})
+        assert da.join_list(1) == frozenset()
+
+    def test_foreign_write_evicts_primary(self):
+        # After w7, the scheme is F ∪ {7}: p loses its copy until the
+        # next insider write restores it.
+        da = DynamicAllocation({1, 2}, primary=2)
+        da.run(Schedule.parse("w7"))
+        assert da.current_scheme == frozenset({1, 7})
+
+    def test_primary_rejoins_via_insider_write(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        da.run(Schedule.parse("w7 w1"))
+        assert da.current_scheme == frozenset({1, 2})
+
+    def test_primary_read_after_eviction_is_saving(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("w7 r2"))
+        assert allocation[1].saving
+        assert allocation[1].execution_set == frozenset({1})
+
+
+class TestInvariants:
+    def test_core_always_in_scheme(self):
+        da = DynamicAllocation({1, 2, 3}, primary=3)
+        schedule = Schedule.parse("r7 w8 r9 w1 r7 w3 r8")
+        allocation = da.run(schedule)
+        for scheme, _ in allocation.schemes():
+            assert da.core <= scheme
+
+    def test_t_availability_maintained(self):
+        da = DynamicAllocation({1, 2, 3}, primary=3)
+        allocation = da.run(Schedule.parse("r7 w8 r9 w1 r7 w3 r8 r9 w9"))
+        allocation.check_t_available(3)
+        allocation.check_legal()
+
+    def test_run_resets_join_lists(self):
+        da = DynamicAllocation({1, 2}, primary=2)
+        da.run(Schedule.parse("r5"))
+        da.run(Schedule.parse("r6"))
+        assert da.join_list(1) == frozenset({6})
+
+
+class TestCosts:
+    def test_saving_read_costs_one_extra_io(self, sc_model):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("r5"))
+        assert sc_model.schedule_cost(allocation) == pytest.approx(
+            sc_model.c_c + 2.0 + sc_model.c_d
+        )
+
+    def test_repeat_reader_amortizes(self, sc_model):
+        # After the save, each further read costs only c_io: the gain
+        # over SA that Theorem 1 vs Proposition 3 quantifies.
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("r5 r5 r5 r5"))
+        expected = (sc_model.c_c + 2.0 + sc_model.c_d) + 3 * 1.0
+        assert sc_model.schedule_cost(allocation) == pytest.approx(expected)
+
+    def test_write_after_joins_pays_invalidations(self, sc_model):
+        da = DynamicAllocation({1, 2}, primary=2)
+        allocation = da.run(Schedule.parse("r5 r6 w1"))
+        costs = sc_model.request_costs(allocation)
+        # w1: scheme {1,2,5,6} -> X {1,2}: 2 invalidations + 1 data + 2 io.
+        assert costs[2] == pytest.approx(2 * sc_model.c_c + sc_model.c_d + 2.0)

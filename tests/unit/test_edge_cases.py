@@ -1,0 +1,135 @@
+"""Edge-case tests across modules: the corners the main suites skim.
+
+Each test here pins one boundary behaviour that a refactor could
+silently change — empty inputs, single-element structures, exact
+boundaries of validation ranges, tie-breaking determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.regions import Region, classify_stationary
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.offline_optimal import OfflineOptimal
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.allocation import AllocationSchedule
+from repro.model.cost_model import CostModel, stationary
+from repro.model.request import ExecutedRequest, read, write
+from repro.model.schedule import Schedule
+from repro.viz.ascii_plot import render_series
+from repro.workloads.uniform import UniformWorkload
+
+
+class TestEmptyAndSingleton:
+    def test_empty_schedule_through_every_algorithm(self, sc_model):
+        for algorithm in (
+            StaticAllocation({1, 2}),
+            DynamicAllocation({1, 2}, primary=2),
+        ):
+            allocation = algorithm.run(Schedule())
+            assert len(allocation) == 0
+            assert sc_model.schedule_cost(allocation) == 0.0
+            assert allocation.final_scheme == frozenset({1, 2})
+
+    def test_empty_schedule_breakdowns(self):
+        allocation = AllocationSchedule(frozenset({1, 2}), ())
+        assert allocation.breakdowns() == []
+        assert allocation.total_breakdown().io_ops == 0
+
+    def test_single_request_latency_accounting(self):
+        from repro.distsim.runner import run_protocol
+
+        stats = run_protocol("SA", Schedule((read(1),)), {1, 2})
+        assert stats.requests_completed == 1
+        assert len(stats.latencies) == 1
+
+    def test_workload_of_length_zero(self):
+        assert len(UniformWorkload([1, 2], 0).generate(0)) == 0
+
+
+class TestBoundaries:
+    def test_cost_model_accepts_equal_cc_cd(self):
+        model = stationary(1.0, 1.0)
+        assert model.c_c == model.c_d
+
+    def test_cost_model_rejects_epsilon_violation(self):
+        with pytest.raises(ConfigurationError):
+            stationary(1.0 + 1e-9, 1.0)
+
+    def test_threshold_exactly_two_is_minimum(self):
+        assert StaticAllocation({1, 2}).threshold == 2
+
+    def test_region_boundaries_are_exclusive(self):
+        # c_c + c_d == 0.5 exactly: NOT SA-superior (strict inequality).
+        assert classify_stationary(0.25, 0.25) is Region.UNKNOWN
+        # c_d == 1 exactly: NOT DA-superior.
+        assert classify_stationary(0.0, 1.0) is Region.UNKNOWN
+        # Just past the boundaries:
+        assert classify_stationary(0.24, 0.25) is Region.SA_SUPERIOR
+        assert classify_stationary(0.0, 1.01) is Region.DA_SUPERIOR
+
+    def test_zero_cost_model_everything_free_but_io(self):
+        model = stationary(0.0, 0.0)
+        executed = ExecutedRequest(read(5), {1})
+        assert model.request_cost(executed, frozenset({1, 2})) == 1.0
+
+
+class TestDeterministicTieBreaking:
+    def test_sa_always_uses_the_same_server(self):
+        sa = StaticAllocation({3, 7, 9})
+        allocation = sa.run(Schedule.parse("r1 r1 r1"))
+        servers = {next(iter(step.execution_set)) for step in allocation}
+        assert servers == {3}
+
+    def test_da_core_server_is_lowest_id(self):
+        da = DynamicAllocation({3, 7, 9}, primary=9)
+        allocation = da.run(Schedule.parse("r1"))
+        assert allocation[0].execution_set == frozenset({3})
+
+    def test_opt_tie_break_is_stable(self, sc_model):
+        # With c_c = c_d = 0 many optima tie; the witness must be the
+        # same on every call.
+        model = stationary(0.0, 0.0)
+        schedule = Schedule.parse("w1 w2 w3")
+        solver = OfflineOptimal(model)
+        first = solver.solve(schedule, {1, 2}).allocation
+        second = solver.solve(schedule, {1, 2}).allocation
+        assert first.steps == second.steps
+
+
+class TestRenderSeriesExtremes:
+    def test_constant_series(self):
+        text = render_series([(0.0, 2.0), (1.0, 2.0)], width=10, height=4)
+        assert "*" in text
+
+    def test_single_point(self):
+        text = render_series([(1.0, 1.0)], width=5, height=3)
+        assert "*" in text
+
+
+class TestSchedulesAsValues:
+    def test_equality_and_hash(self):
+        left = Schedule.parse("r1 w2")
+        right = Schedule.parse("r1 w2")
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_add_rejects_non_schedule(self):
+        with pytest.raises(TypeError):
+            Schedule.parse("r1") + ["w2"]
+
+
+class TestCostModelValues:
+    def test_frozen(self):
+        model = stationary(0.1, 0.2)
+        with pytest.raises(AttributeError):
+            model.c_c = 0.5  # type: ignore[misc]
+
+    def test_general_cost_model_io_between_zero_and_one(self):
+        model = CostModel(0.5, 0.1, 0.2)
+        assert model.is_stationary
+        normalized = model.normalized()
+        assert normalized.c_c == pytest.approx(0.2)

@@ -1,0 +1,117 @@
+"""Unit tests for the expected-cost analysis (repro.analysis.expected_cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.expected_cost import (
+    DAExpectedCost,
+    analytic_crossover_write_fraction,
+    da_expected_cost,
+    sa_expected_cost,
+)
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import mobile, stationary
+from repro.workloads.uniform import UniformWorkload
+
+MODEL = stationary(0.1, 0.6)
+
+
+class TestSAClosedForm:
+    def test_read_only_workload(self):
+        # E = c_io + (1 - t/n)(c_c + c_d).
+        value = sa_expected_cost(MODEL, n=8, threshold=2, write_fraction=0.0)
+        assert value == pytest.approx(1 + (1 - 0.25) * 0.7)
+
+    def test_write_only_workload(self):
+        # E = t c_io + (t - t/n) c_d.
+        value = sa_expected_cost(MODEL, n=8, threshold=2, write_fraction=1.0)
+        assert value == pytest.approx(2 + (2 - 0.25) * 0.6)
+
+    def test_more_replicas_cheapen_reads(self):
+        read_cost_t2 = sa_expected_cost(MODEL, 8, 2, 0.0)
+        read_cost_t4 = sa_expected_cost(MODEL, 8, 4, 0.0)
+        assert read_cost_t4 < read_cost_t2
+
+    def test_more_replicas_raise_writes(self):
+        write_cost_t2 = sa_expected_cost(MODEL, 8, 2, 1.0)
+        write_cost_t4 = sa_expected_cost(MODEL, 8, 4, 1.0)
+        assert write_cost_t4 > write_cost_t2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sa_expected_cost(MODEL, 8, 1, 0.5)
+        with pytest.raises(ConfigurationError):
+            sa_expected_cost(MODEL, 2, 2, 0.5)
+        with pytest.raises(ConfigurationError):
+            sa_expected_cost(MODEL, 8, 2, 1.5)
+
+
+class TestDAChain:
+    def test_read_only_converges_to_local_reads(self):
+        # With no writes, everyone eventually holds a copy: the long-run
+        # cost per request is exactly one I/O.
+        value = da_expected_cost(MODEL, n=6, threshold=2, write_fraction=0.0)
+        assert value == pytest.approx(MODEL.c_io, abs=1e-6)
+
+    def test_expected_scheme_size_bounds(self):
+        result = DAExpectedCost(MODEL, 8, 2, 0.3).solve()
+        assert 2.0 <= result.expected_scheme_size <= 8.0
+
+    def test_heavier_writes_shrink_expected_scheme(self):
+        light = DAExpectedCost(MODEL, 8, 2, 0.1).solve()
+        heavy = DAExpectedCost(MODEL, 8, 2, 0.7).solve()
+        assert heavy.expected_scheme_size < light.expected_scheme_size
+
+    def test_state_space_guard(self):
+        with pytest.raises(ConfigurationError):
+            DAExpectedCost(MODEL, n=20, threshold=2, write_fraction=0.5)
+
+    @pytest.mark.parametrize("write_fraction", [0.05, 0.2, 0.5, 0.9])
+    def test_chain_matches_simulation(self, write_fraction):
+        n, t = 8, 2
+        prediction = da_expected_cost(MODEL, n, t, write_fraction)
+        schedule = UniformWorkload(
+            range(1, n + 1), 4000, write_fraction
+        ).generate(3)
+        algorithm = DynamicAllocation(set(range(1, t + 1)), primary=t)
+        simulated = MODEL.schedule_cost(algorithm.run(schedule)) / len(schedule)
+        assert simulated == pytest.approx(prediction, rel=0.05)
+
+    @pytest.mark.parametrize("write_fraction", [0.1, 0.5])
+    def test_sa_form_matches_simulation(self, write_fraction):
+        n, t = 8, 2
+        prediction = sa_expected_cost(MODEL, n, t, write_fraction)
+        schedule = UniformWorkload(
+            range(1, n + 1), 4000, write_fraction
+        ).generate(5)
+        algorithm = StaticAllocation(set(range(1, t + 1)))
+        simulated = MODEL.schedule_cost(algorithm.run(schedule)) / len(schedule)
+        assert simulated == pytest.approx(prediction, rel=0.05)
+
+    def test_mobile_model_supported(self):
+        value = da_expected_cost(mobile(0.1, 0.6), 6, 2, 0.2)
+        assert value > 0
+
+
+class TestCrossover:
+    def test_no_crossover_when_cd_large(self):
+        # c_d > 1 (DA's proven superiority region): the chain shows DA's
+        # expected cost below SA's at *every* write fraction — even
+        # write-heavy mixes, where DA's writer-local replica saves a
+        # data message per write.  No crossover exists.
+        crossover = analytic_crossover_write_fraction(
+            stationary(0.2, 1.5), n=8
+        )
+        assert crossover is None
+        assert da_expected_cost(
+            stationary(0.2, 1.5), 8, 2, 0.5
+        ) < sa_expected_cost(stationary(0.2, 1.5), 8, 2, 0.5)
+
+    def test_crossover_matches_empirical_rwmix_bench(self):
+        # The rwmix benchmark measured the first crossover near 0.084
+        # for these prices; the chain must land in the same place.
+        crossover = analytic_crossover_write_fraction(MODEL, n=8)
+        assert crossover == pytest.approx(0.084, abs=0.02)

@@ -1,0 +1,54 @@
+"""Unit tests for the algorithm registry (repro.core.factory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.caching import WriteInvalidationCaching
+from repro.core.cddr import SkiRentalReplication
+from repro.core.convergent import ConvergentAllocation
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.factory import ALGORITHM_NAMES, algorithm_factory, make_algorithm
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+
+
+class TestMakeAlgorithm:
+    def test_builds_each_registered_name(self, sc_model):
+        expected = {
+            "SA": StaticAllocation,
+            "DA": DynamicAllocation,
+            "CDDR": SkiRentalReplication,
+            "CACHE": WriteInvalidationCaching,
+            "CONV": ConvergentAllocation,
+        }
+        assert set(ALGORITHM_NAMES) == set(expected)
+        for name, cls in expected.items():
+            algorithm = make_algorithm(name, {1, 2}, cost_model=sc_model)
+            assert isinstance(algorithm, cls)
+
+    def test_name_is_case_insensitive(self):
+        assert isinstance(make_algorithm("da", {1, 2}), DynamicAllocation)
+        assert isinstance(make_algorithm(" Sa ", {1, 2}), StaticAllocation)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("PAXOS", {1, 2})
+
+    def test_convergent_requires_cost_model(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("CONV", {1, 2})
+
+    def test_options_forwarded(self):
+        da = make_algorithm("DA", {1, 2, 3}, primary=1)
+        assert da.primary == 1
+        cddr = make_algorithm("CDDR", {1, 2}, rent_limit=4)
+        assert cddr.rent_limit == 4
+
+
+class TestFactory:
+    def test_factory_builds_fresh_instances(self):
+        build = algorithm_factory("DA", {1, 2})
+        first, second = build(), build()
+        assert first is not second
+        assert first.initial_scheme == second.initial_scheme

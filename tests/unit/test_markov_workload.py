@@ -1,0 +1,57 @@
+"""Unit tests for the bursty Markov workload (repro.workloads.markov)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.markov import MarkovWorkload
+
+
+class TestValidation:
+    def test_rejects_bad_stickiness(self):
+        with pytest.raises(ConfigurationError):
+            MarkovWorkload([1, 2], 10, stickiness=1.5)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ConfigurationError):
+            MarkovWorkload([1, 2], 10, locality=-0.1)
+
+
+class TestShape:
+    def test_length_and_processors(self):
+        workload = MarkovWorkload(range(1, 6), 200, 0.2)
+        schedule = workload.generate(0)
+        assert len(schedule) == 200
+        assert schedule.processors <= frozenset(range(1, 6))
+
+    def test_deterministic_per_seed(self):
+        workload = MarkovWorkload(range(1, 6), 100, 0.2)
+        assert workload.generate(4) == workload.generate(4)
+
+    def test_high_locality_is_bursty(self):
+        sticky = MarkovWorkload(
+            range(1, 9), 500, 0.2, stickiness=0.98, locality=1.0
+        )
+        chaotic = MarkovWorkload(
+            range(1, 9), 500, 0.2, stickiness=0.98, locality=0.0
+        )
+        assert sticky.burstiness(0) > chaotic.burstiness(0) + 0.3
+
+    def test_zero_stickiness_still_valid(self):
+        workload = MarkovWorkload(range(1, 4), 50, 0.2, stickiness=0.0)
+        assert len(workload.generate(1)) == 50
+
+    def test_single_processor_never_hops(self):
+        workload = MarkovWorkload([7], 50, 0.0, stickiness=0.0, locality=1.0)
+        schedule = workload.generate(0)
+        assert schedule.processors == frozenset({7})
+
+    def test_burstiness_of_tiny_schedules(self):
+        workload = MarkovWorkload([1, 2], 1, 0.2)
+        assert workload.burstiness(0) == 0.0
+
+    def test_write_fraction_respected(self):
+        workload = MarkovWorkload(range(1, 6), 3000, 0.4)
+        fraction = workload.generate(2).write_fraction
+        assert 0.35 < fraction < 0.45

@@ -1,0 +1,82 @@
+"""Coverage for small utilities the main suites exercise only obliquely."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.regions import theoretical_map
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepRow
+from repro.exceptions import ConfigurationError
+from repro.viz.csv_export import sweep_to_csv, write_csv
+from repro.viz.csv_export import region_map_to_csv
+from repro.workloads.generator import (
+    random_request,
+    validate_write_fraction,
+    weighted_choice,
+)
+
+
+class TestGeneratorHelpers:
+    def test_weighted_choice_without_weights_is_uniformish(self):
+        rng = random.Random(0)
+        picks = [weighted_choice(rng, [1, 2, 3]) for _ in range(300)]
+        assert set(picks) == {1, 2, 3}
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(0)
+        picks = [
+            weighted_choice(rng, [1, 2], weights=[99.0, 1.0])
+            for _ in range(200)
+        ]
+        assert picks.count(1) > picks.count(2) * 5
+
+    def test_random_request_extremes(self):
+        rng = random.Random(0)
+        assert all(
+            random_request(rng, 1, 1.0).is_write for _ in range(20)
+        )
+        assert all(
+            random_request(rng, 1, 0.0).is_read for _ in range(20)
+        )
+
+    def test_validate_write_fraction(self):
+        assert validate_write_fraction(0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            validate_write_fraction(-0.1)
+
+
+class TestCsvWriting:
+    def test_write_csv_roundtrip(self, tmp_path):
+        text = region_map_to_csv(theoretical_map(steps=3))
+        path = tmp_path / "map.csv"
+        write_csv(text, path)
+        assert path.read_text() == text
+
+    def test_sweep_csv_column_order(self):
+        from repro.analysis.sweep import SweepResult
+
+        rows = (
+            SweepRow(0.1, {"DA": 1.2, "SA": 1.5}, {"DA": 1.1, "SA": 1.3},
+                     {"DA": 10.0, "SA": 12.0}),
+        )
+        text = sweep_to_csv(SweepResult("w", rows))
+        header, data = text.strip().splitlines()
+        assert header == "w,DA_max_ratio,SA_max_ratio,DA_mean_cost,SA_mean_cost"
+        assert data == "0.1,1.2,1.5,10.0,12.0"
+
+
+class TestTableFormatting:
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in text and "1.234" not in text
+
+    def test_integers_render_without_decimals(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text and "42.0" not in text
+
+    def test_none_cells_render_as_str(self):
+        text = format_table(["v"], [[None]])
+        assert "None" in text

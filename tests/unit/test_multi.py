@@ -1,0 +1,130 @@
+"""Unit tests for the multi-object directory (repro.core.multi)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.multi import ObjectDirectory, ObjectRequest, interleave
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import stationary
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+
+MODEL = stationary(0.2, 1.5)
+
+
+def da_directory():
+    return ObjectDirectory(
+        lambda object_id: DynamicAllocation({1, 2}, primary=2)
+    )
+
+
+class TestRouting:
+    def test_instances_created_lazily(self):
+        directory = da_directory()
+        assert directory.object_ids == []
+        directory.submit(ObjectRequest("doc", read(1)))
+        assert directory.object_ids == ["doc"]
+
+    def test_objects_evolve_independently(self):
+        directory = da_directory()
+        directory.submit(ObjectRequest("a", read(5)))  # 5 joins object a
+        directory.submit(ObjectRequest("b", read(1)))  # local read of b
+        assert 5 in directory.scheme("a")
+        assert 5 not in directory.scheme("b")
+
+    def test_factory_receives_object_id(self):
+        seen = []
+
+        def factory(object_id):
+            seen.append(object_id)
+            return StaticAllocation({1, 2})
+
+        directory = ObjectDirectory(factory)
+        directory.submit(ObjectRequest("x", read(1)))
+        directory.submit(ObjectRequest("x", read(1)))
+        directory.submit(ObjectRequest("y", read(1)))
+        assert seen == ["x", "y"]
+
+    def test_bad_factory_rejected(self):
+        directory = ObjectDirectory(lambda object_id: "not a DOM")
+        with pytest.raises(ConfigurationError):
+            directory.submit(ObjectRequest("x", read(1)))
+
+    def test_allocation_schedule_per_object(self):
+        directory = da_directory()
+        directory.run(
+            [
+                ObjectRequest("a", read(5)),
+                ObjectRequest("b", write(1)),
+                ObjectRequest("a", write(1)),
+            ]
+        )
+        assert directory.allocation_schedule("a").schedule() == Schedule.parse(
+            "r5 w1"
+        )
+        assert directory.allocation_schedule("b").schedule() == Schedule.parse(
+            "w1"
+        )
+
+
+class TestCosts:
+    def test_total_is_sum_of_per_object(self):
+        directory = da_directory()
+        directory.run(
+            [
+                ObjectRequest("a", read(5)),
+                ObjectRequest("b", write(3)),
+                ObjectRequest("a", read(5)),
+                ObjectRequest("b", read(3)),
+            ]
+        )
+        per_object = directory.per_object_costs(MODEL)
+        assert directory.cost(MODEL) == pytest.approx(sum(per_object.values()))
+
+    def test_directory_cost_matches_single_object_runs(self):
+        # Composition: routing through the directory costs exactly the
+        # same as running each object's schedule alone.
+        streams = {
+            "a": Schedule.parse("r5 w1 r5"),
+            "b": Schedule.parse("w3 r3 r4"),
+        }
+        directory = da_directory()
+        directory.run(interleave({k: list(v) for k, v in streams.items()}))
+        for object_id, schedule in streams.items():
+            standalone = DynamicAllocation({1, 2}, primary=2)
+            expected = MODEL.schedule_cost(standalone.run(schedule))
+            assert directory.cost(MODEL, object_id) == pytest.approx(expected)
+
+    def test_unknown_object_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            da_directory().breakdown("ghost")
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        stream = interleave(
+            {
+                "a": [read(1), read(2)],
+                "b": [write(3)],
+            }
+        )
+        assert [str(item) for item in stream] == [
+            "r1@'a'",
+            "w3@'b'",
+            "r2@'a'",
+        ]
+
+    def test_preserves_per_object_order(self):
+        stream = interleave(
+            {"a": [read(1), write(2), read(3)], "b": [read(9)]}
+        )
+        a_requests = [
+            item.request for item in stream if item.object_id == "a"
+        ]
+        assert a_requests == [read(1), write(2), read(3)]
+
+    def test_empty(self):
+        assert interleave({}) == []

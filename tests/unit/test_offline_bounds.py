@@ -1,0 +1,98 @@
+"""Unit tests for the OPT lower bound (repro.core.offline_bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline_bounds import optimal_cost_lower_bound
+from repro.core.offline_optimal import optimal_cost
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import mobile, stationary
+from repro.model.schedule import Schedule
+
+SCHEDULES = [
+    "r1",
+    "r5",
+    "w1",
+    "w5 r5 r5",
+    "r3 r4 r5 w1 r3 r4 r5 w2",
+    "r1 r1 r2 w2 r2 r2 r2",
+    "w3 w4 w5 r3 r4 r5",
+    "r5 w1 r5 w1 r5 w1",
+]
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("text", SCHEDULES)
+    @pytest.mark.parametrize(
+        "model",
+        [stationary(0.2, 1.5), stationary(0.0, 0.0), mobile(0.5, 2.0)],
+        ids=["sc", "sc-free-comm", "mc"],
+    )
+    def test_bound_never_exceeds_opt(self, text, model):
+        schedule = Schedule.parse(text)
+        scheme = {1, 2}
+        bound = optimal_cost_lower_bound(schedule, scheme, model)
+        exact = optimal_cost(schedule, scheme, model)
+        assert bound <= exact + 1e-9
+
+    @pytest.mark.parametrize("threshold", [2, 3])
+    def test_bound_sound_for_higher_thresholds(self, threshold):
+        model = stationary(0.2, 1.5)
+        schedule = Schedule.parse("r4 r5 w1 r4 r5 w2 r6")
+        scheme = set(range(1, threshold + 1))
+        bound = optimal_cost_lower_bound(schedule, scheme, model, threshold)
+        exact = optimal_cost(schedule, scheme, model, threshold)
+        assert bound <= exact + 1e-9
+
+
+class TestStructure:
+    def test_empty_schedule(self):
+        model = stationary(0.2, 1.5)
+        assert optimal_cost_lower_bound(Schedule(), {1, 2}, model) == 0.0
+
+    def test_reads_charge_io(self):
+        model = stationary(0.2, 1.5)
+        bound = optimal_cost_lower_bound(Schedule.parse("r1 r1"), {1, 2}, model)
+        assert bound >= 2.0
+
+    def test_writes_charge_t_ios_and_data(self):
+        model = stationary(0.2, 1.5)
+        bound = optimal_cost_lower_bound(Schedule.parse("w1"), {1, 2}, model)
+        assert bound == pytest.approx(2.0 + 1.5)
+
+    def test_first_segment_charges_fetches(self):
+        model = stationary(0.2, 1.5)
+        # Reader 5 outside the initial scheme must fetch at least once.
+        bound = optimal_cost_lower_bound(Schedule.parse("r5"), {1, 2}, model)
+        assert bound == pytest.approx(1.0 + 0.2 + 1.5)
+
+    def test_later_segments_allow_t_free_members(self):
+        model = stationary(0.2, 1.5)
+        # After w1, readers 5 and 6 could both have been in the write's
+        # execution set (t = 2): no join extra is provable.
+        bound = optimal_cost_lower_bound(
+            Schedule.parse("w1 r5 r6"), {1, 2}, model
+        )
+        assert bound == pytest.approx((2.0 + 1.5) + 2 * 1.0)
+
+    def test_extra_readers_beyond_t_charged(self):
+        model = stationary(0.2, 1.5)
+        bound = optimal_cost_lower_bound(
+            Schedule.parse("w1 r5 r6 r7"), {1, 2}, model
+        )
+        join_extra = min(0.2 + 1.5, 1.5 + 1.0)
+        assert bound == pytest.approx((2.0 + 1.5) + 3 * 1.0 + join_extra)
+
+    def test_rejects_threshold_below_two(self):
+        with pytest.raises(ConfigurationError):
+            optimal_cost_lower_bound(
+                Schedule.parse("r1"), {1, 2}, stationary(0.1, 0.2), threshold=1
+            )
+
+    def test_tight_on_pure_member_reads(self):
+        model = stationary(0.2, 1.5)
+        schedule = Schedule.parse("r1 r2 r1")
+        bound = optimal_cost_lower_bound(schedule, {1, 2}, model)
+        exact = optimal_cost(schedule, {1, 2}, model)
+        assert bound == pytest.approx(exact)

@@ -1,0 +1,134 @@
+"""Unit tests for the offline-optimal DP (repro.core.offline_optimal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.offline_optimal import (
+    OfflineOptimal,
+    optimal_allocation,
+    optimal_cost,
+)
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import mobile, stationary
+from repro.model.schedule import Schedule
+
+
+class TestBasics:
+    def test_empty_schedule_costs_nothing(self, sc_model):
+        assert optimal_cost(Schedule(), {1, 2}, sc_model) == 0.0
+
+    def test_single_local_read(self, sc_model):
+        assert optimal_cost(
+            Schedule.parse("r1"), {1, 2}, sc_model
+        ) == pytest.approx(1.0)
+
+    def test_single_foreign_read(self, sc_model):
+        # Cheapest: one on-demand non-saving read.
+        assert optimal_cost(
+            Schedule.parse("r5"), {1, 2}, sc_model
+        ) == pytest.approx(1 + sc_model.c_c + sc_model.c_d)
+
+    def test_repeated_foreign_reads_warrant_saving(self, sc_model):
+        # k reads: save once (c_c + c_d + 2) then read locally (k-1).
+        k = 6
+        schedule = Schedule.parse("r5") * k
+        expected = (sc_model.c_c + sc_model.c_d + 2.0) + (k - 1) * 1.0
+        assert optimal_cost(schedule, {1, 2}, sc_model) == pytest.approx(expected)
+
+    def test_single_write_costs_t_ios_plus_data(self, sc_model):
+        # Best write: X = {writer, one other}, 2 I/Os + 1 data message.
+        assert optimal_cost(
+            Schedule.parse("w1"), {1, 2}, sc_model
+        ) == pytest.approx(2.0 + sc_model.c_d)
+
+    def test_rejects_thin_initial_scheme(self, sc_model):
+        solver = OfflineOptimal(sc_model)
+        with pytest.raises(ConfigurationError):
+            solver.solve(Schedule.parse("r1"), {1})
+
+    def test_rejects_threshold_below_two(self, sc_model):
+        with pytest.raises(ConfigurationError):
+            OfflineOptimal(sc_model, threshold=1)
+
+    def test_universe_guard(self, sc_model):
+        solver = OfflineOptimal(sc_model, max_processors=3)
+        schedule = Schedule.parse("r1 r2 r3 r4 r5")
+        with pytest.raises(ConfigurationError):
+            solver.solve(schedule, {1, 2})
+
+
+class TestWitness:
+    def test_witness_is_legal_available_and_priced_right(self, sc_model):
+        schedule = Schedule.parse("r3 w2 r3 r4 w4 r1 r1")
+        solver = OfflineOptimal(sc_model)
+        result = solver.solve(schedule, {1, 2})
+        result.allocation.check_legal()
+        result.allocation.check_t_available(2)
+        assert result.allocation.corresponds_to(schedule)
+        assert sc_model.schedule_cost(result.allocation) == pytest.approx(
+            result.cost
+        )
+
+    def test_optimal_allocation_helper(self, sc_model):
+        schedule = Schedule.parse("r3 w2 r3")
+        allocation = optimal_allocation(schedule, {1, 2}, sc_model)
+        assert allocation.corresponds_to(schedule)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "r1 r1 r2 w2 r2 r2 r2",
+            "r5 w1 r5 w1 r5",
+            "w3 w3 w3",
+            "r4 r5 r6 w1 r4 r5 r6",
+        ],
+    )
+    def test_never_worse_than_sa_or_da(self, sc_model, text):
+        schedule = Schedule.parse(text)
+        scheme = {1, 2}
+        opt = optimal_cost(schedule, scheme, sc_model)
+        sa_cost = sc_model.schedule_cost(StaticAllocation(scheme).run(schedule))
+        da_cost = sc_model.schedule_cost(
+            DynamicAllocation(scheme, primary=2).run(schedule)
+        )
+        assert opt <= sa_cost + 1e-9
+        assert opt <= da_cost + 1e-9
+
+    def test_prefers_moving_scheme_to_writer(self, sc_model):
+        # w5 then many r5: the optimum moves the scheme to include 5.
+        schedule = Schedule.parse("w5 r5 r5 r5 r5")
+        allocation = optimal_allocation(schedule, {1, 2}, sc_model)
+        assert 5 in allocation.scheme_at(1)
+
+    def test_mobile_all_local_reads_cost_zero(self):
+        model = mobile(0.5, 2.0)
+        assert optimal_cost(Schedule.parse("r1 r2 r1"), {1, 2}, model) == 0.0
+
+    def test_threshold_three_forces_larger_writes(self):
+        model = stationary(0.1, 0.5)
+        schedule = Schedule.parse("w1")
+        cost_t2 = optimal_cost(schedule, {1, 2}, model, threshold=2)
+        cost_t3 = optimal_cost(schedule, {1, 2, 3}, model, threshold=3)
+        assert cost_t3 == pytest.approx(3.0 + 2 * 0.5)
+        assert cost_t2 < cost_t3
+
+    def test_monotone_in_schedule_prefix(self, sc_model):
+        # Cost of OPT on a prefix never exceeds cost on the full
+        # schedule (costs are non-negative per request).
+        schedule = Schedule.parse("r3 w2 r3 r4 w4 r1")
+        full = optimal_cost(schedule, {1, 2}, sc_model)
+        prefix = optimal_cost(schedule.prefix(3), {1, 2}, sc_model)
+        assert prefix <= full + 1e-9
+
+
+class TestDeterminism:
+    def test_same_input_same_witness(self, sc_model):
+        schedule = Schedule.parse("r3 w2 r3 r4")
+        first = optimal_allocation(schedule, {1, 2}, sc_model)
+        second = optimal_allocation(schedule, {1, 2}, sc_model)
+        assert first.steps == second.steps

@@ -1,0 +1,119 @@
+"""Unit tests for partially ordered schedules (repro.model.partial_order).
+
+Verifies the paper's §3.1 claim that the analysis "applies almost
+verbatim even if reads between two consecutive writes are partially
+ordered": SA's, DA's and OPT's costs are invariant under the choice of
+linearization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.offline_optimal import optimal_cost
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import stationary
+from repro.model.partial_order import (
+    PartialSchedule,
+    ReadGroup,
+    cost_is_linearization_invariant,
+)
+from repro.model.request import read, write
+from repro.model.schedule import Schedule
+
+MODEL = stationary(0.2, 1.5)
+SCHEME = frozenset({1, 2})
+
+
+class TestConstruction:
+    def test_group_rejects_writes(self):
+        with pytest.raises(ConfigurationError):
+            ReadGroup((write(1),))
+
+    def test_groups_writes_arity(self):
+        with pytest.raises(ConfigurationError):
+            PartialSchedule((ReadGroup(),), (write(1),))
+
+    def test_from_schedule_segments_correctly(self):
+        partial = PartialSchedule.from_schedule(
+            Schedule.parse("r1 r2 w3 r4 w5")
+        )
+        assert len(partial.writes) == 2
+        assert [len(group) for group in partial.groups] == [2, 1, 0]
+        assert partial.request_count == 5
+
+    def test_by_processor_preserves_program_order(self):
+        group = ReadGroup((read(1), read(2), read(1)))
+        sequences = group.by_processor()
+        assert sequences[1] == [read(1), read(1)]
+        assert sequences[2] == [read(2)]
+
+
+class TestLinearizations:
+    def test_canonical_roundtrip(self):
+        schedule = Schedule.parse("r1 r2 w3 r4")
+        partial = PartialSchedule.from_schedule(schedule)
+        assert partial.canonical_linearization() == schedule
+
+    def test_all_linearizations_enumerated(self):
+        # Group {r1, r2} has two interleavings; the trailing group one.
+        partial = PartialSchedule.from_schedule(Schedule.parse("r1 r2 w3 r4"))
+        linearizations = list(partial.linearizations())
+        assert len(linearizations) == 2
+        assert Schedule.parse("r1 r2 w3 r4") in linearizations
+        assert Schedule.parse("r2 r1 w3 r4") in linearizations
+
+    def test_same_processor_reads_stay_ordered(self):
+        partial = PartialSchedule.from_schedule(Schedule.parse("r1 r1 r2"))
+        for linearization in partial.linearizations():
+            positions = [
+                index
+                for index, request in enumerate(linearization)
+                if request.processor == 1
+            ]
+            assert positions == sorted(positions)
+
+    def test_limit_respected(self):
+        schedule = Schedule.parse("r1 r2 r3 r4 r5")
+        partial = PartialSchedule.from_schedule(schedule)
+        assert len(list(partial.linearizations(limit=7))) == 7
+
+    def test_sample_is_a_valid_linearization(self):
+        schedule = Schedule.parse("r1 r2 r3 w4 r1 r5")
+        partial = PartialSchedule.from_schedule(schedule)
+        sample = partial.sample_linearization(seed=3)
+        assert sorted(map(str, sample)) == sorted(map(str, schedule))
+        # The write barrier separates the groups in every sample.
+        write_index = [r.is_write for r in sample].index(True)
+        assert {str(r) for r in sample[:write_index]} == {"r1", "r2", "r3"}
+
+
+class TestInvarianceClaim:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "r5 r6 r5 w1 r6 r5",
+            "r3 r4 w2 r3 r4 w4 r3",
+            "r5 r5 r6 r6 r7",
+        ],
+    )
+    def test_sa_and_da_costs_invariant(self, text):
+        partial = PartialSchedule.from_schedule(Schedule.parse(text))
+        assert cost_is_linearization_invariant(
+            lambda: StaticAllocation(SCHEME), partial, MODEL
+        )
+        assert cost_is_linearization_invariant(
+            lambda: DynamicAllocation(SCHEME, primary=2), partial, MODEL
+        )
+
+    def test_opt_cost_invariant_across_all_linearizations(self):
+        partial = PartialSchedule.from_schedule(
+            Schedule.parse("r5 r6 w1 r5 r6")
+        )
+        costs = {
+            round(optimal_cost(linearization, SCHEME, MODEL), 9)
+            for linearization in partial.linearizations()
+        }
+        assert len(costs) == 1

@@ -1,0 +1,72 @@
+"""Unit tests for ratio intervals on large instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.competitive import CompetitivenessHarness, RatioObservation
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.model.cost_model import stationary
+from repro.model.schedule import Schedule
+from repro.workloads.uniform import UniformWorkload
+
+MODEL = stationary(0.2, 1.5)
+SCHEME = frozenset({1, 2})
+
+
+class TestObservationIntervals:
+    def test_exact_observation_has_degenerate_interval(self):
+        obs = RatioObservation(Schedule.parse("r1"), 3.0, 2.0, True)
+        assert obs.ratio == pytest.approx(1.5)
+        assert obs.ratio_lower == pytest.approx(1.5)
+
+    def test_interval_orders_correctly(self):
+        obs = RatioObservation(
+            Schedule.parse("r1"), 6.0, 2.0, False, reference_upper=3.0
+        )
+        assert obs.ratio == pytest.approx(3.0)        # vs the lower bound
+        assert obs.ratio_lower == pytest.approx(2.0)  # vs the upper bound
+        assert obs.ratio_lower <= obs.ratio
+
+
+class TestHarnessWithBeam:
+    def test_small_instances_stay_exact(self):
+        harness = CompetitivenessHarness(MODEL, beam_width=16)
+        obs = harness.observe(
+            DynamicAllocation(SCHEME, primary=2), Schedule.parse("r5 r5")
+        )
+        assert obs.exact_reference
+        assert obs.reference_upper is None
+        assert obs.ratio == obs.ratio_lower
+
+    def test_large_instances_get_an_interval(self):
+        harness = CompetitivenessHarness(MODEL, exact_limit=6, beam_width=32)
+        schedule = UniformWorkload(range(1, 15), 40, 0.3).generate(4)
+        obs = harness.observe(DynamicAllocation(SCHEME, primary=2), schedule)
+        assert not obs.exact_reference
+        assert obs.reference_upper is not None
+        assert obs.reference_cost <= obs.reference_upper + 1e-9
+        # The true ratio lies in [ratio_lower, ratio]; both are finite
+        # and at least ... well, the lower end can dip below 1 only if
+        # the beam found a cheaper strategy than the algorithm — it is
+        # itself a legal offline strategy, so that is legitimate.
+        assert obs.ratio_lower <= obs.ratio
+
+    def test_interval_brackets_the_exact_ratio_when_checkable(self):
+        # Use an instance small enough to solve exactly, but force the
+        # harness down the interval path by shrinking its exact limit.
+        schedule = UniformWorkload(range(1, 9), 24, 0.3).generate(2)
+        interval = CompetitivenessHarness(
+            MODEL, exact_limit=4, beam_width=64
+        ).observe(DynamicAllocation(SCHEME, primary=2), schedule)
+        exact = CompetitivenessHarness(MODEL).observe(
+            DynamicAllocation(SCHEME, primary=2), schedule
+        )
+        assert exact.exact_reference and not interval.exact_reference
+        assert interval.ratio_lower - 1e-9 <= exact.ratio <= interval.ratio + 1e-9
+
+    def test_beam_disabled_by_default(self):
+        harness = CompetitivenessHarness(MODEL, exact_limit=4)
+        schedule = UniformWorkload(range(1, 9), 16, 0.3).generate(1)
+        obs = harness.observe(DynamicAllocation(SCHEME, primary=2), schedule)
+        assert obs.reference_upper is None

@@ -1,0 +1,118 @@
+"""Unit tests for the region maps (repro.analysis.regions) — Figures 1-2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.regions import (
+    Region,
+    classify_mobile,
+    classify_stationary,
+    empirical_winner,
+    grid,
+    theoretical_map,
+)
+from repro.exceptions import ConfigurationError
+from repro.workloads.adversarial import adversarial_suite
+
+
+class TestStationaryClassification:
+    def test_cannot_be_true_above_diagonal(self):
+        assert classify_stationary(1.5, 1.0) is Region.INFEASIBLE
+
+    def test_sa_corner(self):
+        # c_c + c_d < 0.5.
+        assert classify_stationary(0.1, 0.2) is Region.SA_SUPERIOR
+
+    def test_da_region_right_of_cd_one(self):
+        assert classify_stationary(0.3, 1.2) is Region.DA_SUPERIOR
+
+    def test_unknown_wedge(self):
+        assert classify_stationary(0.3, 0.8) is Region.UNKNOWN
+
+    def test_boundary_cd_exactly_one_is_unknown(self):
+        assert classify_stationary(0.3, 1.0) is Region.UNKNOWN
+
+    def test_boundary_sum_exactly_half_is_unknown(self):
+        assert classify_stationary(0.2, 0.3) is Region.UNKNOWN
+
+
+class TestMobileClassification:
+    def test_da_everywhere_feasible(self):
+        for c_c, c_d in [(0.0, 0.5), (0.5, 0.5), (1.0, 2.0)]:
+            assert classify_mobile(c_c, c_d) is Region.DA_SUPERIOR
+
+    def test_infeasible_above_diagonal(self):
+        assert classify_mobile(1.5, 1.0) is Region.INFEASIBLE
+
+    def test_origin_vacuous(self):
+        assert classify_mobile(0.0, 0.0) is Region.UNKNOWN
+
+
+class TestGrid:
+    def test_grid_endpoints(self):
+        c_d_values, c_c_values = grid(2.0, 1.0, steps=5)
+        assert c_d_values[0] == 0.0 and c_d_values[-1] == 2.0
+        assert c_c_values[0] == 0.0 and c_c_values[-1] == 1.0
+
+    def test_grid_needs_two_steps(self):
+        with pytest.raises(ConfigurationError):
+            grid(steps=1)
+
+
+class TestTheoreticalMap:
+    def test_stationary_map_has_all_four_regions(self):
+        region_map = theoretical_map(mobile_model=False, steps=9)
+        regions = {point.region for point in region_map.points}
+        assert regions == {
+            Region.SA_SUPERIOR,
+            Region.DA_SUPERIOR,
+            Region.UNKNOWN,
+            Region.INFEASIBLE,
+        }
+
+    def test_mobile_map_has_no_sa_region(self):
+        region_map = theoretical_map(mobile_model=True, steps=9)
+        regions = {point.region for point in region_map.points}
+        assert Region.SA_SUPERIOR not in regions
+        assert Region.DA_SUPERIOR in regions
+
+    def test_rows_ordered_like_the_figure(self):
+        region_map = theoretical_map(steps=4)
+        rows = region_map.rows()
+        c_c_of_rows = [row[0].c_c for row in rows]
+        assert c_c_of_rows == sorted(c_c_of_rows, reverse=True)
+        for row in rows:
+            c_ds = [point.c_d for point in row]
+            assert c_ds == sorted(c_ds)
+
+    def test_at_lookup(self):
+        region_map = theoretical_map(steps=5)
+        point = region_map.at(0.0, 2.0)
+        assert point.region is Region.DA_SUPERIOR
+        with pytest.raises(KeyError):
+            region_map.at(0.123, 0.456)
+
+
+class TestEmpiricalWinner:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return adversarial_suite({1, 2}, [5, 6, 7], rounds=4)
+
+    def test_da_wins_where_theory_says(self, suite):
+        point = empirical_winner(0.2, 1.5, suite, {1, 2})
+        assert point.region is Region.DA_SUPERIOR
+        assert point.da_ratio < point.sa_ratio
+
+    def test_sa_wins_where_theory_says(self, suite):
+        point = empirical_winner(0.05, 0.1, suite, {1, 2})
+        assert point.region is Region.SA_SUPERIOR
+
+    def test_infeasible_points_short_circuit(self, suite):
+        point = empirical_winner(1.5, 1.0, suite, {1, 2})
+        assert point.region is Region.INFEASIBLE
+        assert point.sa_ratio is None
+
+    def test_mobile_da_wins(self, suite):
+        point = empirical_winner(0.5, 1.0, suite, {1, 2}, mobile_model=True)
+        assert point.region is Region.DA_SUPERIOR

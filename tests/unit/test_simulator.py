@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event engine (repro.distsim.events/.simulator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.events import EventQueue
+from repro.distsim.simulator import Simulator
+from repro.exceptions import SimulationError
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        queue.pop().action()
+        queue.pop().action()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("first"))
+        queue.push(1.0, lambda: fired.append("second"))
+        queue.pop().action()
+        queue.pop().action()
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_quiescence(self):
+        sim = Simulator()
+        assert sim.quiescent()
+        sim.schedule(1.0, lambda: None)
+        assert not sim.quiescent()
+        sim.run()
+        assert sim.quiescent()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_event_storm_fuse(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_is_running_flag(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.is_running))
+        assert not sim.is_running
+        sim.run()
+        assert seen == [True]
+        assert not sim.is_running
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 2

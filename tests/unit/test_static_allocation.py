@@ -1,0 +1,112 @@
+"""Unit tests for the SA algorithm (repro.core.static_allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.schedule import Schedule
+
+
+class TestConstruction:
+    def test_threshold_defaults_to_scheme_size(self):
+        sa = StaticAllocation({1, 2, 3})
+        assert sa.threshold == 3
+
+    def test_rejects_thin_scheme(self):
+        with pytest.raises(ConfigurationError):
+            StaticAllocation({1})
+
+    def test_rejects_threshold_below_two(self):
+        with pytest.raises(ConfigurationError):
+            StaticAllocation({1, 2}, threshold=1)
+
+    def test_scheme_alias(self):
+        sa = StaticAllocation({1, 2})
+        assert sa.scheme == frozenset({1, 2})
+
+
+class TestBehaviour:
+    def test_member_reads_are_local(self):
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("r1 r2"))
+        assert allocation[0].execution_set == frozenset({1})
+        assert allocation[1].execution_set == frozenset({2})
+
+    def test_foreign_reads_go_to_a_member(self):
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("r5"))
+        (step,) = allocation
+        assert step.execution_set <= sa.scheme
+        assert len(step.execution_set) == 1
+
+    def test_reads_never_save(self):
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("r5 r5 r5"))
+        assert all(not step.saving for step in allocation)
+
+    def test_writes_go_to_whole_scheme(self):
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("w5 w1"))
+        assert allocation[0].execution_set == frozenset({1, 2})
+        assert allocation[1].execution_set == frozenset({1, 2})
+
+    def test_scheme_never_changes(self):
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("r5 w3 r4 w2 r1"))
+        for scheme, _ in allocation.schemes():
+            assert scheme == frozenset({1, 2})
+        assert allocation.final_scheme == frozenset({1, 2})
+
+    def test_output_is_legal_and_available(self):
+        sa = StaticAllocation({1, 2, 3})
+        allocation = sa.run(Schedule.parse("r9 w8 r7 w6 r5"))
+        allocation.check_legal()
+        allocation.check_t_available(3)
+
+    def test_run_resets_state(self):
+        sa = StaticAllocation({1, 2})
+        first = sa.run(Schedule.parse("w5"))
+        second = sa.run(Schedule.parse("w5"))
+        assert first.steps == second.steps
+
+
+class TestCosts:
+    def test_foreign_read_cost(self, sc_model):
+        # 1 + c_c + c_d for every foreign read: the cost Proposition 1
+        # exploits.
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("r5"))
+        assert sc_model.schedule_cost(allocation) == pytest.approx(
+            1 + sc_model.c_c + sc_model.c_d
+        )
+
+    def test_member_write_cost(self, sc_model):
+        # Writer in Q: (|Q|-1) data messages + |Q| I/Os, no invalidations.
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("w1"))
+        assert sc_model.schedule_cost(allocation) == pytest.approx(
+            2 + sc_model.c_d
+        )
+
+    def test_foreign_write_cost(self, sc_model):
+        # Writer outside Q: |Q| data messages + |Q| I/Os.
+        sa = StaticAllocation({1, 2})
+        allocation = sa.run(Schedule.parse("w5"))
+        assert sc_model.schedule_cost(allocation) == pytest.approx(
+            2 + 2 * sc_model.c_d
+        )
+
+    def test_read_one_write_all_tradeoff(self, sc_model):
+        # More replicas: cheaper member reads, dearer writes.
+        small = StaticAllocation({1, 2})
+        large = StaticAllocation({1, 2, 3, 4})
+        write_heavy = Schedule.parse("w5 w5 w5")
+        assert sc_model.schedule_cost(
+            small.run(write_heavy)
+        ) < sc_model.schedule_cost(large.run(write_heavy))
+        member_reads = Schedule.parse("r3 r4")
+        assert sc_model.schedule_cost(
+            large.run(member_reads)
+        ) < sc_model.schedule_cost(small.run(member_reads))

@@ -1,0 +1,140 @@
+"""Unit tests for the storage substrate (repro.storage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StorageError
+from repro.storage.local_db import LocalDatabase
+from repro.storage.stable_storage import StableStorage
+from repro.storage.versions import ObjectVersion, VersionCounter
+
+
+class TestVersions:
+    def test_ordering(self):
+        older = ObjectVersion(1, writer=2)
+        newer = ObjectVersion(2, writer=3)
+        assert newer.newer_than(older)
+        assert not older.newer_than(newer)
+        assert older.newer_than(None)
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObjectVersion(-1, writer=0)
+
+    def test_counter_is_monotonic(self):
+        counter = VersionCounter()
+        first = counter.next_version(writer=1)
+        second = counter.next_version(writer=2)
+        assert second.number == first.number + 1
+        assert counter.allocated == 2
+
+    def test_counter_start(self):
+        counter = VersionCounter(start=5)
+        assert counter.next_version(writer=1).number == 5
+
+    def test_str(self):
+        assert str(ObjectVersion(3, writer=7)) == "v3@7"
+
+
+class TestStableStorage:
+    def test_write_then_read(self):
+        storage = StableStorage()
+        storage.write("k", 42)
+        assert storage.read("k") == 42
+        assert storage.read_ops == 1
+        assert storage.write_ops == 1
+        assert storage.io_ops == 2
+
+    def test_missing_key_raises(self):
+        with pytest.raises(StorageError):
+            StableStorage().read("nope")
+
+    def test_peek_is_uncharged(self):
+        storage = StableStorage()
+        storage.write("k", 42)
+        assert storage.peek("k") == 42
+        assert storage.read_ops == 0
+
+    def test_peek_missing_raises(self):
+        with pytest.raises(StorageError):
+            StableStorage().peek("nope")
+
+    def test_delete_is_uncharged(self):
+        storage = StableStorage()
+        storage.write("k", 1)
+        storage.delete("k")
+        assert not storage.contains("k")
+        assert storage.io_ops == 1
+
+    def test_survive_crash_preserves_content(self):
+        storage = StableStorage()
+        storage.write("k", 1)
+        assert storage.survive_crash().peek("k") == 1
+
+
+class TestLocalDatabase:
+    def test_fresh_database_has_no_copy(self):
+        db = LocalDatabase(owner=1)
+        assert not db.holds_valid_copy
+        with pytest.raises(StorageError):
+            db.input_object()
+
+    def test_output_then_input(self):
+        db = LocalDatabase(owner=1)
+        version = ObjectVersion(1, writer=1)
+        db.output_object(version)
+        assert db.holds_valid_copy
+        assert db.input_object() == version
+        assert db.io_reads == 1
+        assert db.io_writes == 1
+
+    def test_invalidate_blocks_reads(self):
+        db = LocalDatabase(owner=1)
+        db.output_object(ObjectVersion(1, writer=1))
+        db.invalidate()
+        assert not db.holds_valid_copy
+        with pytest.raises(StorageError):
+            db.input_object()
+
+    def test_invalidated_copy_still_on_stable_storage(self):
+        db = LocalDatabase(owner=1)
+        version = ObjectVersion(1, writer=1)
+        db.output_object(version)
+        db.invalidate()
+        assert db.peek_version() == version
+
+    def test_input_any_version_ignores_validity(self):
+        # The quorum path: freshness by timestamp, not validity flag.
+        db = LocalDatabase(owner=1)
+        version = ObjectVersion(1, writer=1)
+        db.output_object(version)
+        db.invalidate()
+        assert db.input_any_version() == version
+        assert db.io_reads == 1
+
+    def test_seed_is_uncharged(self):
+        db = LocalDatabase(owner=1)
+        db.seed(ObjectVersion(0, writer=1))
+        assert db.holds_valid_copy
+        assert db.io_ops == 0
+
+    def test_crash_keeps_storage_but_invalidates(self):
+        db = LocalDatabase(owner=1)
+        version = ObjectVersion(3, writer=1)
+        db.output_object(version)
+        db.crash()
+        assert not db.holds_valid_copy
+        assert db.peek_version() == version
+
+    def test_revalidate_after_crash(self):
+        db = LocalDatabase(owner=1)
+        db.output_object(ObjectVersion(3, writer=1))
+        db.crash()
+        db.revalidate()
+        assert db.holds_valid_copy
+
+    def test_revalidate_without_copy_is_noop(self):
+        db = LocalDatabase(owner=1)
+        db.revalidate()
+        assert not db.holds_valid_copy

@@ -1,0 +1,55 @@
+"""Unit tests for the SVG renderer (repro.viz.svg_export)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.analysis.regions import Region, theoretical_map
+from repro.viz.svg_export import REGION_COLORS, region_map_to_svg, write_svg
+
+
+class TestRendering:
+    def test_output_is_well_formed_xml(self):
+        svg = region_map_to_svg(theoretical_map(steps=5), title="Figure 1")
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_cell_per_grid_point(self):
+        region_map = theoretical_map(steps=5)
+        svg = region_map_to_svg(region_map)
+        root = ElementTree.fromstring(svg)
+        namespace = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f".//{namespace}rect")
+        # background + 25 cells + 4 legend swatches.
+        assert len(rects) == 1 + 25 + 4
+
+    def test_regions_get_their_colors(self):
+        svg = region_map_to_svg(theoretical_map(steps=9))
+        assert REGION_COLORS[Region.SA_SUPERIOR] in svg
+        assert REGION_COLORS[Region.DA_SUPERIOR] in svg
+        assert 'url(#hatch)' in svg  # the infeasible triangle
+
+    def test_title_and_axis_labels(self):
+        svg = region_map_to_svg(theoretical_map(steps=3), title="My Map")
+        assert "My Map" in svg
+        assert "c_d (data-message cost)" in svg
+        assert "c_c (control-message cost)" in svg
+
+    def test_tooltips_carry_coordinates(self):
+        svg = region_map_to_svg(theoretical_map(steps=3))
+        assert "c_c=0.0, c_d=2.0" in svg
+
+    def test_write_svg(self, tmp_path):
+        path = tmp_path / "figure1.svg"
+        write_svg(theoretical_map(steps=4), path, title="Figure 1")
+        content = path.read_text()
+        assert content.startswith("<svg")
+        ElementTree.fromstring(content)
+
+    def test_mobile_map_renders(self):
+        svg = region_map_to_svg(theoretical_map(mobile_model=True, steps=4))
+        # DA cells exist; the SA color appears only in the legend swatch.
+        assert svg.count(REGION_COLORS[Region.DA_SUPERIOR]) > 1
+        assert svg.count(REGION_COLORS[Region.SA_SUPERIOR]) == 1

@@ -1,0 +1,55 @@
+"""Unit tests for trace (de)serialization (repro.workloads.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.schedule import Schedule
+from repro.workloads import trace
+
+
+class TestRoundtrip:
+    def test_dumps_loads(self, paper_schedule):
+        assert trace.loads(trace.dumps(paper_schedule)) == paper_schedule
+
+    def test_line_wrapping(self):
+        schedule = Schedule.parse(" ".join(["r1"] * 45))
+        text = trace.dumps(schedule, per_line=20)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert len(lines[0].split()) == 20
+        assert len(lines[2].split()) == 5
+
+    def test_empty_schedule(self):
+        assert trace.dumps(Schedule()) == ""
+        assert trace.loads("") == Schedule()
+
+    def test_rejects_bad_per_line(self, paper_schedule):
+        with pytest.raises(ConfigurationError):
+            trace.dumps(paper_schedule, per_line=0)
+
+
+class TestParsing:
+    def test_comments_ignored(self):
+        text = "# a satellite trace\nr1 w2  # inline comment\nr3\n"
+        assert trace.loads(text) == Schedule.parse("r1 w2 r3")
+
+    def test_blank_lines_ignored(self):
+        assert trace.loads("\n\nr1\n\nw2\n") == Schedule.parse("r1 w2")
+
+    def test_bad_token_raises(self):
+        with pytest.raises(ConfigurationError):
+            trace.loads("r1 banana")
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, paper_schedule):
+        path = tmp_path / "trace.txt"
+        trace.save(paper_schedule, path)
+        assert trace.load(path) == paper_schedule
+
+    def test_file_is_human_readable(self, tmp_path, paper_schedule):
+        path = tmp_path / "trace.txt"
+        trace.save(paper_schedule, path)
+        assert path.read_text() == "w2 r4 w3 r1 r2\n"

@@ -1,0 +1,103 @@
+"""Unit tests for the append-only model of §6.2 (repro.core.versioning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.core.versioning import (
+    AppendOnlyFeed,
+    FeedEventKind,
+    generate,
+    read_latest,
+    run_feed,
+    standing_order_stations,
+)
+from repro.exceptions import ConfigurationError
+from repro.model.request import read, write
+
+
+def satellite_feed() -> AppendOnlyFeed:
+    """Images generated at stations 1 and 3, read by 2, 4 and 5."""
+    return AppendOnlyFeed(
+        [
+            generate(1),
+            read_latest(4),
+            read_latest(5),
+            generate(3),
+            read_latest(4),
+            read_latest(2),
+            generate(1),
+            read_latest(5),
+        ]
+    )
+
+
+class TestFeedModel:
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppendOnlyFeed(["generate"])
+
+    def test_stations(self):
+        assert satellite_feed().stations == frozenset({1, 2, 3, 4, 5})
+
+    def test_object_count(self):
+        assert satellite_feed().object_count == 3
+
+    def test_translation_to_schedule(self):
+        # §6.2: generation == write, read-latest == read.
+        schedule = satellite_feed().to_schedule()
+        assert schedule[0] == write(1)
+        assert schedule[1] == read(4)
+        assert schedule[3] == write(3)
+        assert schedule.write_count == 3
+
+    def test_event_str(self):
+        assert str(generate(1)) == "gen@1"
+        assert str(read_latest(4)) == "read@4"
+
+
+class TestRunFeed:
+    def test_sa_reliability(self, sc_model):
+        # SA = t permanent standing orders: every object is stored at
+        # exactly the t standing-order stations.
+        feed = satellite_feed()
+        result = run_feed(feed, StaticAllocation({1, 2}), sc_model)
+        assert result.reliability_satisfied(2)
+        assert all(stored == frozenset({1, 2}) for stored in result.storage_map)
+
+    def test_da_reliability(self, sc_model):
+        # DA = t-1 permanent + temporary standing orders: reliability
+        # still holds at every generation.
+        feed = satellite_feed()
+        result = run_feed(feed, DynamicAllocation({1, 2}, primary=2), sc_model)
+        assert result.reliability_satisfied(2)
+
+    def test_storage_map_length_matches_objects(self, sc_model):
+        feed = satellite_feed()
+        result = run_feed(feed, StaticAllocation({1, 2}), sc_model)
+        assert len(result.storage_map) == feed.object_count
+
+    def test_temporary_standing_orders_cancelled_by_next_object(self, sc_model):
+        # A reader joins via a temporary standing order; the next
+        # generated object must evict it.
+        feed = AppendOnlyFeed(
+            [generate(1), read_latest(5), generate(1), read_latest(5)]
+        )
+        da = DynamicAllocation({1, 2}, primary=2)
+        result = run_feed(feed, da, sc_model)
+        holders = standing_order_stations(result.allocation)
+        assert 5 in holders[1]  # after its first read, 5 holds the latest
+        assert 5 not in holders[2]  # the next generation cancels the order
+
+    def test_da_cheaper_for_repeat_readers(self, sc_model):
+        # The standing-order advantage: a station reading every object
+        # repeatedly benefits from the temporary order.
+        events = [generate(1)] + [read_latest(5)] * 6
+        feed = AppendOnlyFeed(events)
+        da_cost = run_feed(
+            feed, DynamicAllocation({1, 2}, primary=2), sc_model
+        ).cost
+        sa_cost = run_feed(feed, StaticAllocation({1, 2}), sc_model).cost
+        assert da_cost < sa_cost

@@ -1,0 +1,98 @@
+"""Unit tests for schedule statistics (repro.workloads.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.model.cost_model import stationary
+from repro.model.schedule import Schedule
+from repro.workloads.stats import analyze, describe
+
+
+class TestSegments:
+    def test_segmentation_by_writes(self):
+        stats = analyze(Schedule.parse("r1 r2 w3 r4 w5 r6 r6"))
+        assert len(stats.segments) == 3
+        assert [s.length for s in stats.segments] == [2, 1, 2]
+
+    def test_trailing_segment_always_present(self):
+        stats = analyze(Schedule.parse("w1"))
+        assert len(stats.segments) == 2
+        assert stats.segments[-1].length == 0
+
+    def test_distinct_vs_repeat_reads(self):
+        stats = analyze(Schedule.parse("r1 r1 r2 r1"))
+        (segment, *_rest) = stats.segments
+        assert segment.distinct_readers == 2
+        assert segment.repeat_reads == 2
+        assert segment.repeat_fraction == pytest.approx(0.5)
+
+    def test_repeats_reset_at_writes(self):
+        stats = analyze(Schedule.parse("r1 w2 r1"))
+        assert [s.repeat_reads for s in stats.segments] == [0, 0]
+
+
+class TestAggregates:
+    def test_counts(self):
+        stats = analyze(Schedule.parse("r1 w2 r3"))
+        assert stats.length == 3
+        assert stats.write_count == 1
+        assert stats.read_count == 2
+        assert stats.distinct_processors == 3
+
+    def test_locality(self):
+        assert analyze(Schedule.parse("r1 r1 r1")).locality == 1.0
+        assert analyze(Schedule.parse("r1 r2 r3")).locality == 0.0
+        assert analyze(Schedule.parse("r1")).locality == 0.0
+
+    def test_empty_schedule(self):
+        stats = analyze(Schedule())
+        assert stats.length == 0
+        assert stats.write_fraction == 0.0
+        assert stats.mean_distinct_readers == 0.0
+
+    def test_mean_distinct_readers(self):
+        stats = analyze(Schedule.parse("r1 r2 w3 r4 w5"))
+        # Segments: {1,2}, {4}, {}.
+        assert stats.mean_distinct_readers == pytest.approx(1.0)
+
+
+class TestPredictivePower:
+    def test_repeat_fraction_predicts_da_advantage(self):
+        # High repeat fraction: DA should beat SA; low: vice versa (at
+        # prices in the Unknown wedge where structure decides).
+        model = stationary(0.1, 0.5)
+        scheme = frozenset({1, 2})
+        repeat_heavy = Schedule.parse("r5 r5 r5 r5 r5 r5 w1") * 3
+        one_shot = Schedule.parse("r5 r6 r7 w1") * 3
+        assert analyze(repeat_heavy).repeat_read_fraction > 0.5
+        assert analyze(one_shot).repeat_read_fraction == 0.0
+
+        def costs(schedule):
+            sa = model.schedule_cost(StaticAllocation(scheme).run(schedule))
+            da = model.schedule_cost(
+                DynamicAllocation(scheme, primary=2).run(schedule)
+            )
+            return sa, da
+
+        sa_cost, da_cost = costs(repeat_heavy)
+        assert da_cost < sa_cost
+        sa_cost, da_cost = costs(one_shot)
+        assert sa_cost < da_cost
+
+
+class TestDescribe:
+    def test_describe_mentions_the_essentials(self):
+        text = describe(Schedule.parse("r5 r5 r5 r5 w1 r5 r5"))
+        assert "7 requests" in text
+        assert "write fraction" in text
+        assert "favour DA" in text
+
+    def test_describe_one_shot_hint(self):
+        text = describe(Schedule.parse("r5 r6 r7 w1"))
+        assert "one-shot readers" in text
+
+    def test_describe_empty(self):
+        assert describe(Schedule()) == "empty schedule"

@@ -1,0 +1,108 @@
+"""Unit tests for the exhaustive worst-case search (repro.analysis.worst_case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.worst_case import ExhaustiveSearch, certified_worst_case
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.offline_optimal import optimal_cost
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.model.cost_model import stationary
+
+MODEL = stationary(0.1, 0.2)
+SCHEME = frozenset({1, 2})
+
+
+class TestValidation:
+    def test_rejects_large_universe(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSearch(MODEL, SCHEME, tuple(range(3, 10)))
+
+    def test_rejects_bad_bracket(self):
+        search = ExhaustiveSearch(MODEL, SCHEME, (5,))
+        with pytest.raises(ConfigurationError):
+            search.search(lambda: StaticAllocation(SCHEME), 2, min_length=3)
+
+    def test_rejects_thin_scheme(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSearch(MODEL, {1}, (5,))
+
+
+class TestIncrementalDPConsistency:
+    def test_advance_agrees_with_full_solver(self):
+        # The carried DP must price any particular schedule exactly as
+        # the standalone OfflineOptimal does.
+        search = ExhaustiveSearch(MODEL, SCHEME, (5, 6))
+        from repro.model.request import read, write
+
+        dp = search._initial_dp()
+        requests = [read(5), write(6), read(5), read(6)]
+        for request in requests:
+            dp = search._advance(dp, request)
+        from repro.model.schedule import Schedule
+
+        expected = optimal_cost(Schedule(tuple(requests)), SCHEME, MODEL)
+        assert min(dp.values()) == pytest.approx(expected)
+
+
+class TestSearchResults:
+    def test_worst_schedule_achieves_its_ratio(self):
+        worst = certified_worst_case(
+            lambda: DynamicAllocation(SCHEME, primary=2),
+            MODEL,
+            SCHEME,
+            (5,),
+            max_length=3,
+        )
+        algorithm = DynamicAllocation(SCHEME, primary=2)
+        cost = MODEL.schedule_cost(algorithm.run(worst.schedule))
+        opt = optimal_cost(worst.schedule, SCHEME, MODEL)
+        assert cost == pytest.approx(worst.algorithm_cost)
+        assert opt == pytest.approx(worst.optimal_cost)
+        assert worst.ratio == pytest.approx(cost / opt)
+
+    def test_da_single_foreign_read_is_the_short_worst_case(self):
+        # With cheap communication, the single saving-read is DA's worst
+        # length-1 schedule: (c_c + c_d + 2) / (c_c + c_d + 1).
+        worst = certified_worst_case(
+            lambda: DynamicAllocation(SCHEME, primary=2),
+            MODEL,
+            SCHEME,
+            (5,),
+            max_length=1,
+        )
+        assert str(worst.schedule) == "r5"
+        expected = (0.1 + 0.2 + 2.0) / (0.1 + 0.2 + 1.0)
+        assert worst.ratio == pytest.approx(expected)
+
+    def test_sa_worst_case_grows_with_length(self):
+        ratios = []
+        for max_length in (2, 3, 4):
+            worst = certified_worst_case(
+                lambda: StaticAllocation(SCHEME),
+                MODEL,
+                SCHEME,
+                (5,),
+                max_length=max_length,
+            )
+            ratios.append(worst.ratio)
+        # Longer horizons can only reveal worse (or equal) schedules.
+        assert ratios == sorted(ratios)
+
+    def test_worst_ratios_respect_proven_bounds(self):
+        from repro.analysis.bounds import (
+            da_competitive_factor,
+            sa_competitive_factor,
+        )
+
+        sa_worst = certified_worst_case(
+            lambda: StaticAllocation(SCHEME), MODEL, SCHEME, (5,), max_length=4
+        )
+        da_worst = certified_worst_case(
+            lambda: DynamicAllocation(SCHEME, primary=2),
+            MODEL, SCHEME, (5,), max_length=4,
+        )
+        assert sa_worst.ratio <= sa_competitive_factor(MODEL) + 1e-9
+        assert da_worst.ratio <= da_competitive_factor(MODEL) + 1e-9
