@@ -8,15 +8,57 @@ machine-readable copies under ``benchmarks/results/``.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Grid-shaped benchmarks (the region maps, the ablation sweeps) submit
+their points through the parallel experiment engine.  Environment
+knobs — measured numbers are identical at any setting, only wall-clock
+changes:
+
+``REPRO_BENCH_WORKERS``    worker processes (default 1 = serial;
+                           ``auto`` = one per CPU core)
+``REPRO_BENCH_CACHE``      directory for the on-disk result cache
+                           (re-runs skip completed points)
+``REPRO_BENCH_PROGRESS``   set non-empty for tasks-done/rate/ETA lines
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.engine import ExperimentEngine, ResultCache
+from repro.engine.runner import default_worker_count
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS`` (default serial)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "1")
+    if raw.strip().lower() == "auto":
+        return default_worker_count()
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def bench_engine(label: str = "bench") -> ExperimentEngine:
+    """The engine grid benchmarks submit through (env-configured)."""
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    return ExperimentEngine(
+        max_workers=bench_workers(),
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        progress=bool(os.environ.get("REPRO_BENCH_PROGRESS")),
+        progress_label=label,
+    )
+
+
+@pytest.fixture
+def engine(request) -> ExperimentEngine:
+    return bench_engine(label=request.node.name)
 
 
 @pytest.fixture(scope="session")

@@ -6,16 +6,22 @@ in the system."*  We sweep t = 2..5 and report the worst measured ratio
 of SA and DA (against the exact offline optimum constrained to the same
 t): the bounds hold at every t, and the measured worst cases stay flat
 rather than growing with t.
+
+The sweep runs through the generic :func:`repro.analysis.sweep.sweep`
+driver on the experiment engine — one independent task per threshold,
+parallelizable with ``REPRO_BENCH_WORKERS`` and resumable with
+``REPRO_BENCH_CACHE``, with results identical to the serial loop it
+replaced.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_engine, emit
 from repro.analysis.bounds import da_competitive_factor, sa_competitive_factor
 from repro.analysis.report import format_table
-from repro.core.competitive import CompetitivenessHarness
+from repro.analysis.sweep import sweep
 from repro.core.dynamic_allocation import DynamicAllocation
 from repro.core.static_allocation import StaticAllocation
 from repro.model.cost_model import stationary
@@ -25,16 +31,29 @@ MODEL = stationary(0.3, 1.2)
 THRESHOLDS = [2, 3, 4, 5]
 
 
+def _scheme_for(t: float) -> frozenset:
+    return frozenset(range(1, int(t) + 1))
+
+
 def measure_t_sweep():
-    rows = []
-    for t in THRESHOLDS:
-        scheme = frozenset(range(1, t + 1))
-        suite = adversarial_suite(scheme, [8, 9, 10], rounds=4)
-        harness = CompetitivenessHarness(MODEL, threshold=t)
-        sa = harness.measure(lambda: StaticAllocation(scheme), suite)
-        da = harness.measure(lambda: DynamicAllocation(scheme), suite)
-        rows.append((t, sa.max_ratio, da.max_ratio))
-    return rows
+    result = sweep(
+        "t",
+        THRESHOLDS,
+        factories_for=lambda t: {
+            "SA": lambda: StaticAllocation(_scheme_for(t)),
+            "DA": lambda: DynamicAllocation(_scheme_for(t)),
+        },
+        schedules_for=lambda t: adversarial_suite(
+            _scheme_for(t), [8, 9, 10], rounds=4
+        ),
+        model_for=lambda t: MODEL,
+        threshold_for=lambda t: int(t),
+        engine=bench_engine(label="ablation-t"),
+    )
+    return [
+        (int(row.parameter), row.max_ratios["SA"], row.max_ratios["DA"])
+        for row in result.rows
+    ]
 
 
 @pytest.mark.benchmark(group="ablation-t")

@@ -12,7 +12,10 @@ The library has four layers:
   failure injection and quorum fallback;
 * :mod:`repro.workloads` + :mod:`repro.analysis` + :mod:`repro.viz` —
   schedule generators (including the adversarial lower-bound families),
-  theoretical bounds, Figure 1/2 region maps, sweeps and reporting.
+  theoretical bounds, Figure 1/2 region maps, sweeps and reporting;
+* :mod:`repro.engine` — the parallel experiment engine: deterministic
+  per-task seeding, on-disk result caching, and process fan-out with
+  bit-identical serial/parallel results.
 
 Quickstart::
 
@@ -53,6 +56,12 @@ from repro.core import (
     optimal_cost_lower_bound,
     optimal_sandwich,
 )
+from repro.engine import (
+    ExperimentEngine,
+    ResultCache,
+    derive_seed,
+    stable_key,
+)
 from repro.exceptions import (
     AvailabilityViolationError,
     ConfigurationError,
@@ -91,6 +100,7 @@ __all__ = [
     "CostModel",
     "DynamicAllocation",
     "ExecutedRequest",
+    "ExperimentEngine",
     "HeterogeneousCostModel",
     "HeterogeneousOfflineOptimal",
     "IllegalScheduleError",
@@ -105,6 +115,7 @@ __all__ = [
     "ReproError",
     "Request",
     "RequestKind",
+    "ResultCache",
     "Schedule",
     "SimulationError",
     "SkiRentalReplication",
@@ -114,6 +125,7 @@ __all__ = [
     "algorithm_factory",
     "compare_algorithms",
     "cost_of",
+    "derive_seed",
     "interleave",
     "make_algorithm",
     "measure_ratios",
@@ -123,6 +135,7 @@ __all__ = [
     "optimal_cost_lower_bound",
     "optimal_sandwich",
     "read",
+    "stable_key",
     "stationary",
     "write",
     "__version__",

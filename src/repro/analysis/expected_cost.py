@@ -32,8 +32,12 @@ compare the analytic crossover against simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
+
 import numpy as np
 
+from repro.engine.keys import stable_key
+from repro.engine.runner import ExperimentEngine, Task
 from repro.exceptions import ConfigurationError
 from repro.model.cost_model import CostModel
 
@@ -184,20 +188,88 @@ def da_expected_cost(
     return DAExpectedCost(model, n, threshold, write_fraction).solve().expected_cost
 
 
+def _expected_point(
+    model: CostModel, n: int, threshold: int, write_fraction: float
+) -> tuple[float, float, float]:
+    """(w, SA expected cost, DA expected cost) at one write fraction."""
+    return (
+        write_fraction,
+        sa_expected_cost(model, n, threshold, write_fraction),
+        da_expected_cost(model, n, threshold, write_fraction),
+    )
+
+
+def _expected_key(
+    model: CostModel, n: int, threshold: int, write_fraction: float
+) -> str:
+    return stable_key(
+        {
+            "kind": "expected-point",
+            "model": model,
+            "n": n,
+            "threshold": threshold,
+            "write_fraction": write_fraction,
+        }
+    )
+
+
+def expected_cost_table(
+    model: CostModel,
+    n: int,
+    threshold: int,
+    write_fractions: Sequence[float],
+    engine: Optional[ExperimentEngine] = None,
+) -> list[tuple[float, float, float]]:
+    """(w, SA, DA) expected-cost rows over a write-fraction grid.
+
+    Each row is an independent Markov-chain solve, so the grid runs
+    through the experiment engine (serial by default); rows come back
+    in grid order regardless of worker scheduling.
+    """
+    engine = engine or ExperimentEngine()
+    tasks = [
+        Task(
+            _expected_point,
+            (model, n, threshold, w),
+            key=(
+                _expected_key(model, n, threshold, w)
+                if engine.cache is not None
+                else None
+            ),
+            label=f"w={w}",
+        )
+        for w in write_fractions
+    ]
+    return engine.run(tasks)
+
+
 def analytic_crossover_write_fraction(
     model: CostModel,
     n: int,
     threshold: int = 2,
     resolution: int = 400,
+    engine: Optional[ExperimentEngine] = None,
 ) -> float | None:
     """The smallest write fraction at which SA's expected cost drops to
     DA's (scanning ``[0, 1]``); ``None`` if DA never loses."""
+    grid = [step / resolution for step in range(resolution + 1)]
+    if engine is None or engine.max_workers <= 1:
+        # Serial path: scan lazily, stopping at the first sign change.
+        previous_sign = None
+        for w in grid:
+            difference = da_expected_cost(model, n, threshold, w) - \
+                sa_expected_cost(model, n, threshold, w)
+            sign = difference > 0
+            if previous_sign is not None and sign != previous_sign:
+                return w
+            previous_sign = sign
+        return None
+    # Parallel path: evaluate the whole grid, then scan.  The first
+    # sign change is the same either way.
+    rows = expected_cost_table(model, n, threshold, grid, engine)
     previous_sign = None
-    for step in range(resolution + 1):
-        w = step / resolution
-        difference = da_expected_cost(model, n, threshold, w) - \
-            sa_expected_cost(model, n, threshold, w)
-        sign = difference > 0
+    for w, sa_cost, da_cost in rows:
+        sign = (da_cost - sa_cost) > 0
         if previous_sign is not None and sign != previous_sign:
             return w
         previous_sign = sign

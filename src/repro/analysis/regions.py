@@ -36,6 +36,8 @@ from repro.analysis.bounds import (
 from repro.core.competitive import CompetitivenessHarness
 from repro.core.dynamic_allocation import DynamicAllocation
 from repro.core.static_allocation import StaticAllocation
+from repro.engine.keys import stable_key
+from repro.engine.runner import ExperimentEngine, Task
 from repro.exceptions import ConfigurationError
 from repro.model.cost_model import mobile, stationary
 from repro.model.schedule import Schedule
@@ -178,6 +180,28 @@ def empirical_winner(
     return GridPoint(c_c, c_d, region, sa_ratio, da_ratio)
 
 
+def _point_cache_key(
+    c_c: float,
+    c_d: float,
+    schedules: Sequence[Schedule],
+    scheme,
+    mobile_model: bool,
+    threshold: int,
+) -> str:
+    """Stable cache key for one empirical grid point."""
+    return stable_key(
+        {
+            "kind": "region-point",
+            "c_c": c_c,
+            "c_d": c_d,
+            "schedules": [str(schedule) for schedule in schedules],
+            "scheme": scheme,
+            "mobile": mobile_model,
+            "threshold": threshold,
+        }
+    )
+
+
 def empirical_map(
     schedules: Sequence[Schedule],
     initial_scheme: Iterable[int],
@@ -186,16 +210,34 @@ def empirical_map(
     c_c_max: float = 2.0,
     steps: int = 9,
     threshold: int = 2,
+    engine: Optional[ExperimentEngine] = None,
 ) -> RegionMap:
-    """Measured region map over a grid (the empirical Figure 1 / 2)."""
+    """Measured region map over a grid (the empirical Figure 1 / 2).
+
+    Each grid point is an independent measurement, so the map is
+    submitted point-by-point through the experiment engine: serial by
+    default, process-parallel (and optionally cached) when the caller
+    provides an engine.  Output is identical either way.
+    """
     c_d_values, c_c_values = grid(c_d_max, c_c_max, steps)
-    points = []
+    engine = engine or ExperimentEngine()
+    scheme = processor_set(initial_scheme)
+    schedules = tuple(schedules)
+    tasks = []
     for c_c in c_c_values:
         for c_d in c_d_values:
-            points.append(
-                empirical_winner(
-                    c_c, c_d, schedules, initial_scheme,
-                    mobile_model, threshold,
+            key = None
+            if engine.cache is not None:
+                key = _point_cache_key(
+                    c_c, c_d, schedules, scheme, mobile_model, threshold
+                )
+            tasks.append(
+                Task(
+                    empirical_winner,
+                    (c_c, c_d, schedules, scheme, mobile_model, threshold),
+                    key=key,
+                    label=f"c_c={c_c}, c_d={c_d}",
                 )
             )
+    points = engine.run(tasks)
     return RegionMap(c_d_values, c_c_values, tuple(points), mobile_model)

@@ -21,6 +21,10 @@ Subcommands
 ``repro calibrate``  map hardware numbers (bytes, bandwidth, latency,
                      disk time — or a wireless tariff) onto the model's
                      (c_c, c_d) point and quote Figure 1/2's verdict.
+``repro sweep``      measure algorithms across a parameter grid through
+                     the parallel experiment engine (``--workers N``,
+                     ``--cache-dir`` for resumable grids), with table,
+                     CSV and ASCII-plot output.
 
 Every command writes plain text to stdout; ``repro workload --out``
 writes a trace file loadable with ``repro compare --trace``.
@@ -51,8 +55,7 @@ from repro.analysis.bounds import (
 )
 from repro.analysis.expected_cost import (
     analytic_crossover_write_fraction,
-    da_expected_cost,
-    sa_expected_cost,
+    expected_cost_table,
 )
 from repro.analysis.regions import (
     classify_mobile,
@@ -61,13 +64,16 @@ from repro.analysis.regions import (
     theoretical_map,
 )
 from repro.analysis.report import format_mapping, format_table
+from repro.analysis.sweep import sweep
 from repro.core.competitive import CompetitivenessHarness
-from repro.core.factory import ALGORITHM_NAMES, make_algorithm
+from repro.core.factory import ALGORITHM_NAMES, algorithm_factory, make_algorithm
 from repro.distsim.runner import run_protocol
+from repro.engine import ExperimentEngine, ResultCache, derive_seed
 from repro.exceptions import ReproError
 from repro.model.cost_model import CostModel, mobile, stationary
 from repro.model.schedule import Schedule
-from repro.viz.ascii_plot import render_region_map
+from repro.viz.ascii_plot import render_region_map, render_series
+from repro.viz.csv_export import sweep_to_csv, write_csv
 from repro.workloads import trace
 from repro.workloads.adversarial import adversarial_suite
 from repro.workloads.hotspot import ZipfWorkload
@@ -96,6 +102,63 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
                         help="data-message cost c_d (default 1.5)")
     parser.add_argument("--mobile", action="store_true",
                         help="mobile-computing model (c_io = 0)")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from error
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _comma_floats(text: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(item) for item in text.split(",") if item.strip())
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"bad value list {text!r} (expected comma-separated numbers)"
+        ) from error
+    if not values:
+        raise argparse.ArgumentTypeError("the value list is empty")
+    return values
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--chunksize", type=_positive_int, default=1,
+        help="tasks per worker submission (scheduling only)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk result cache (resumable grids)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print tasks-done/rate/ETA to stderr",
+    )
+
+
+def _engine(args) -> ExperimentEngine:
+    """Build the experiment engine from (possibly absent) CLI flags."""
+    cache_dir = getattr(args, "cache_dir", None)
+    return ExperimentEngine(
+        max_workers=getattr(args, "workers", 1),
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        chunksize=getattr(args, "chunksize", 1),
+        progress=getattr(args, "progress", False),
+        progress_label=f"repro {args.command}",
+    )
 
 
 def cmd_bounds(args) -> int:
@@ -156,7 +219,8 @@ def cmd_regions(args) -> int:
         suite = adversarial_suite(scheme, [5, 6, 7], rounds=4)
         suite += UniformWorkload(range(1, 8), 20, 0.3).batch(2, seed=42)
         region_map = empirical_map(
-            suite, scheme, mobile_model=args.mobile, steps=args.steps
+            suite, scheme, mobile_model=args.mobile, steps=args.steps,
+            engine=_engine(args),
         )
         flavor = "measured"
     else:
@@ -222,23 +286,20 @@ def cmd_workload(args) -> int:
 
 def cmd_expected(args) -> int:
     model = _model(args)
-    rows = []
-    for step in range(0, 11):
-        w = step / 10
-        rows.append(
-            (
-                w,
-                sa_expected_cost(model, args.n, args.t, w),
-                da_expected_cost(model, args.n, args.t, w),
-            )
-        )
+    engine = _engine(args)
+    rows = expected_cost_table(
+        model, args.n, args.t, [step / 10 for step in range(0, 11)],
+        engine=engine,
+    )
     body = format_table(
         ["write fraction", "SA E[cost]", "DA E[cost]"],
         rows,
         title=f"Expected per-request cost, n={args.n}, t={args.t}, {model}",
     )
     print(body)
-    crossover = analytic_crossover_write_fraction(model, args.n, args.t)
+    crossover = analytic_crossover_write_fraction(
+        model, args.n, args.t, engine=engine
+    )
     if crossover is None:
         print("\nno SA/DA crossover in [0, 1]")
     else:
@@ -329,6 +390,94 @@ def cmd_calibrate(args) -> int:
     return 0
 
 
+#: Knobs `repro sweep` can scan.  ``c_c``/``c_d`` move the cost model;
+#: ``write_fraction`` moves the workload.
+SWEEP_PARAMETERS = ("c_c", "c_d", "write_fraction")
+
+
+def cmd_sweep(args) -> int:
+    values = args.values
+    scheme = args.scheme
+    processors = range(1, args.processors + 1)
+    algorithms = [name.strip() for name in args.algorithms.split(",")]
+
+    def model_for(value: float) -> CostModel:
+        c_c, c_d = args.cc, args.cd
+        if args.parameter == "c_c":
+            c_c = value
+        elif args.parameter == "c_d":
+            c_d = value
+        return mobile(c_c, c_d) if args.mobile else stationary(c_c, c_d)
+
+    def schedules_for(value: float):
+        write_fraction = (
+            value if args.parameter == "write_fraction"
+            else args.write_fraction
+        )
+        generator = UniformWorkload(processors, args.length, write_fraction)
+        # Seeds derive from (root seed, value position): deterministic
+        # per point, independent across points.
+        index = values.index(value)
+        return generator.batch_independent(
+            args.schedules, root_seed=derive_seed(args.seed, index, "sweep")
+        )
+
+    def factories_for(value: float):
+        model = model_for(value)
+        return {
+            name: algorithm_factory(name, scheme, cost_model=model)
+            for name in algorithms
+        }
+
+    result = sweep(
+        args.parameter,
+        values,
+        factories_for,
+        schedules_for,
+        model_for,
+        threshold_for=lambda value: len(scheme),
+        engine=_engine(args),
+    )
+
+    names = result.algorithms()
+    header = [args.parameter]
+    header += [f"{name} max ratio" for name in names]
+    header += [f"{name} mean cost" for name in names]
+    rows = []
+    for row in result.rows:
+        record = [row.parameter]
+        record += [row.max_ratios[name] for name in names]
+        record += [row.mean_costs[name] for name in names]
+        rows.append(tuple(record))
+    flavor = "MC" if args.mobile else "SC"
+    print(
+        format_table(
+            header,
+            rows,
+            title=(
+                f"Sweep of {args.parameter} over {len(values)} points "
+                f"({flavor} model, {args.schedules} x {args.length}-request "
+                f"uniform schedules per point, seed {args.seed})"
+            ),
+        )
+    )
+    if args.csv:
+        write_csv(sweep_to_csv(result), args.csv)
+        print(f"\nwrote CSV to {args.csv}")
+    if args.plot:
+        for name in names:
+            print()
+            print(
+                render_series(
+                    result.series(name),
+                    x_label=args.parameter,
+                    y_label="max ratio",
+                    title=f"{name}: worst measured ratio vs {args.parameter}",
+                )
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -361,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--empirical", action="store_true",
         help="measure winners instead of quoting the bounds",
     )
+    _add_engine_arguments(regions)
     regions.set_defaults(handler=cmd_regions)
 
     simulate = subparsers.add_parser(
@@ -399,7 +549,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of processors")
     expected.add_argument("--t", type=int, default=2,
                           help="availability threshold")
+    _add_engine_arguments(expected)
     expected.set_defaults(handler=cmd_expected)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="parameter sweep through the experiment engine"
+    )
+    _add_model_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--parameter", required=True, choices=SWEEP_PARAMETERS,
+        help="the knob to sweep",
+    )
+    sweep_parser.add_argument(
+        "--values", required=True, type=_comma_floats,
+        help="comma-separated parameter values, e.g. 0.25,0.5,1.0",
+    )
+    sweep_parser.add_argument(
+        "--algorithms", default="SA,DA",
+        help=f"comma list from {','.join(ALGORITHM_NAMES)}",
+    )
+    sweep_parser.add_argument(
+        "--scheme", type=_scheme, default=frozenset({1, 2}),
+        help="initial allocation scheme, e.g. 1,2 (t = its size)",
+    )
+    sweep_parser.add_argument("--processors", type=_positive_int, default=6,
+                              help="workload processor count")
+    sweep_parser.add_argument("--length", type=_positive_int, default=12,
+                              help="requests per schedule")
+    sweep_parser.add_argument("--schedules", type=_positive_int, default=3,
+                              help="schedules per grid point")
+    sweep_parser.add_argument("--write-fraction", type=float, default=0.2,
+                              help="write fraction when not swept")
+    sweep_parser.add_argument("--seed", type=int, default=0,
+                              help="root seed for the workload suite")
+    sweep_parser.add_argument("--csv", help="also write the sweep as CSV")
+    sweep_parser.add_argument("--plot", action="store_true",
+                              help="ASCII chart of each algorithm's ratios")
+    _add_engine_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     availability = subparsers.add_parser(
         "availability", help="ROWA vs quorum availability"

@@ -1,0 +1,48 @@
+"""Parallel experiment engine.
+
+Every reproduction artifact in this repo — the Figure 1/2 region maps,
+the Theorem 1-4 bound checks, the ablation sweeps — reduces to running
+the :class:`~repro.core.competitive.CompetitivenessHarness` over many
+independent (parameter, schedule) points.  The points are independent
+and the protocols are deterministic, so the work decomposes into tasks
+that can run in worker processes and still produce results that are
+*bit-for-bit identical* to the serial path (asserted by
+``tests/properties/test_prop_engine.py``).
+
+Layers (mirroring the distsim substrate's layering):
+
+``seeding``    deterministic per-task seeds derived from a root seed +
+               task index via SHA-256 — stable across processes and
+               interpreter runs, immune to ``PYTHONHASHSEED``.
+``keys``       stable cache keys: a canonical serialization of
+               (cost-model params, workload spec, algorithm set, seed)
+               hashed with SHA-256; no ``id()``/dict-order dependence.
+``cache``      on-disk result cache; corrupted entries are discarded,
+               never raised; writes are atomic (temp file + rename) so
+               concurrent workers cannot tear an entry.
+``progress``   lightweight tasks-done / rate / ETA reporter in the
+               style of :mod:`repro.distsim.statistics`.
+``runner``     :class:`ExperimentEngine` — ``ProcessPoolExecutor``
+               fan-out with a serial in-process fallback for
+               ``max_workers=1``, cache short-circuiting, chunked
+               submission and ordered result reassembly.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.keys import stable_key
+from repro.engine.progress import NullReporter, ProgressReporter
+from repro.engine.runner import EngineStats, ExperimentEngine, Task
+from repro.engine.seeding import derive_seed, rng_from, spawn_rng
+
+__all__ = [
+    "EngineStats",
+    "ExperimentEngine",
+    "NullReporter",
+    "ProgressReporter",
+    "ResultCache",
+    "Task",
+    "derive_seed",
+    "rng_from",
+    "spawn_rng",
+    "stable_key",
+]

@@ -1,0 +1,104 @@
+"""On-disk result cache for experiment tasks.
+
+One file per key under a spool directory (fanned out by key prefix so
+huge grids don't pile thousands of entries into one directory).  The
+contract the unit tests pin down:
+
+* identical configurations hit, perturbed configurations miss;
+* a corrupted/truncated/unreadable entry is **discarded, not raised** —
+  the point is recomputed and the entry rewritten;
+* writes are atomic (temp file + ``os.replace``), so a reader never
+  observes a half-written entry even with concurrent workers;
+* each entry records its key, so a hash-prefix collision or a renamed
+  file can never serve the wrong result.
+
+Entries are serialized with :mod:`pickle` because task results are
+arbitrary analysis objects (:class:`~repro.analysis.sweep.SweepRow`,
+:class:`~repro.analysis.regions.GridPoint`, ...).  Only load caches
+you trust — the same caveat as any pickle file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Tuple, Union
+
+#: Bump when the entry layout changes; old entries then read as misses.
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """A directory of pickled task results keyed by stable hashes."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        Anything wrong with the entry — unreadable, truncated, wrong
+        format version, wrong key, unpicklable — counts as a miss and
+        the offending file is removed best-effort.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            if (
+                isinstance(entry, dict)
+                and entry.get("format") == CACHE_FORMAT
+                and entry.get("key") == key
+            ):
+                return True, entry["value"]
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            pass  # corrupted entry: fall through and discard it
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a result atomically (concurrent writers both win)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": CACHE_FORMAT, "key": key, "value": value}
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key)[0]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

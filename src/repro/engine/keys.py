@@ -1,0 +1,83 @@
+"""Stable cache keys for experiment tasks.
+
+A cache key must identify an experiment point by its *content* —
+cost-model parameters, workload spec, algorithm set, seed — and be
+stable across interpreter runs.  That rules out ``hash()`` (salted),
+``id()`` (address-dependent), ``pickle`` bytes (protocol- and
+memo-order-dependent) and naive ``repr`` (many reprs embed addresses).
+
+:func:`canonicalize` reduces a configuration object to a nested
+structure of primitives with all unordered containers sorted;
+:func:`stable_key` hashes its deterministic rendering with SHA-256.
+Dataclasses (cost models, schedules, requests) and plain objects
+(algorithm prototypes) are encoded as (qualified class name, sorted
+field/attribute items), so two configurations collide only if they are
+structurally identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import math
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic nested-tuple structure.
+
+    Raises :class:`ConfigurationError` for values with no stable
+    canonical form (functions, lambdas, open files, ...) — better a
+    loud error than a cache key that silently varies between runs.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return ("atom", obj)
+    if isinstance(obj, float):
+        # repr() is the shortest round-tripping decimal: bit-exact.
+        if math.isnan(obj):
+            return ("float", "nan")
+        return ("float", repr(obj))
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__qualname__, canonicalize(obj.value))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(canonicalize(item) for item in obj))
+    if isinstance(obj, (set, frozenset)):
+        encoded = sorted(repr(canonicalize(item)) for item in obj)
+        return ("set", tuple(encoded))
+    if isinstance(obj, dict):
+        items = sorted(
+            (repr(canonicalize(key)), canonicalize(value))
+            for key, value in obj.items()
+        )
+        return ("map", tuple(items))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = tuple(
+            (field.name, canonicalize(getattr(obj, field.name)))
+            for field in sorted(
+                dataclasses.fields(obj), key=lambda field: field.name
+            )
+        )
+        return ("data", type(obj).__qualname__, fields)
+    if hasattr(obj, "__dict__") and not callable(obj):
+        attrs = tuple(
+            (name, canonicalize(value))
+            for name, value in sorted(vars(obj).items())
+        )
+        return ("obj", type(obj).__qualname__, attrs)
+    raise ConfigurationError(
+        f"cannot build a stable cache key from {type(obj).__qualname__!r} "
+        f"({obj!r}); use primitives, dataclasses or plain objects"
+    )
+
+
+def stable_key(payload: Any) -> str:
+    """A SHA-256 hex key for a configuration payload.
+
+    Stable across processes and interpreter runs: independent of
+    ``PYTHONHASHSEED``, dict insertion order and object identity.
+    """
+    rendering = repr(canonicalize(payload)).encode("utf-8")
+    return hashlib.sha256(rendering).hexdigest()

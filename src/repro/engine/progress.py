@@ -1,0 +1,110 @@
+"""Progress and timing reporting for engine runs.
+
+In the spirit of :mod:`repro.distsim.statistics`, the reporter is a
+plain counter object that observers read — it never influences the
+computation.  It prints ``done/total``, cache hits, the measured task
+rate and an ETA, rate-limited so a million-point grid does not drown
+stderr, with a final summary line on :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class ProgressReporter:
+    """Prints task throughput to a stream (stderr by default)."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "engine",
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.done = 0
+        self.cached = 0
+        self.started_at: Optional[float] = None
+        self._last_emit = -float("inf")
+        self._emitted_final = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self.started_at = time.monotonic()
+
+    def update(self, cached: bool = False) -> None:
+        """Record one completed task (``cached`` marks a cache hit)."""
+        if self.started_at is None:
+            self.start()
+        self.done += 1
+        if cached:
+            self.cached += 1
+        now = time.monotonic()
+        if (
+            self.done < self.total
+            and now - self._last_emit < self.min_interval
+        ):
+            return
+        self._last_emit = now
+        self._emit(final=self.done >= self.total)
+
+    def finish(self) -> None:
+        if self.started_at is None:
+            self.start()
+        if not self._emitted_final:
+            self._emit(final=True)
+
+    # -- derived numbers -------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return time.monotonic() - self.started_at
+
+    @property
+    def rate(self) -> float:
+        """Completed tasks per second (0 before any time has passed)."""
+        elapsed = self.elapsed
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        rate = self.rate
+        if rate <= 0:
+            return None
+        return max(0, self.total - self.done) / rate
+
+    # -- rendering -------------------------------------------------------
+
+    def _emit(self, final: bool = False) -> None:
+        eta = self.eta_seconds
+        eta_text = "eta --" if eta is None else f"eta {eta:.0f}s"
+        if final:
+            eta_text = f"elapsed {self.elapsed:.1f}s"
+            self._emitted_final = True
+        line = (
+            f"{self.label}: {self.done}/{self.total} tasks"
+            f" ({self.cached} cached) | {self.rate:.1f}/s | {eta_text}"
+        )
+        print(line, file=self.stream)
+
+
+class NullReporter:
+    """Same interface, no output — the default when progress is off."""
+
+    def start(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def update(self, cached: bool = False) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass

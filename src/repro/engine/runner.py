@@ -1,0 +1,243 @@
+"""The experiment engine: decompose, fan out, reassemble.
+
+:class:`ExperimentEngine` runs a sequence of independent
+:class:`Task` objects and returns their results *in task order* — the
+completion order of worker processes never leaks into the output, so a
+parallel run is indistinguishable from a serial one (the equivalence
+property suite asserts bit-identity).
+
+Execution strategy:
+
+* ``max_workers == 1`` — run in-process, no pool, no pickling.  This
+  is the reference path and the default.
+* ``max_workers > 1`` — fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Task functions
+  must then be module-level (picklable); arguments must be picklable
+  values.  If the platform cannot start a pool (no fork, no
+  semaphores), the engine degrades to the serial path rather than
+  failing the experiment.
+* Tasks whose ``key`` is present in the attached
+  :class:`~repro.engine.cache.ResultCache` short-circuit without
+  executing; fresh results are written back, so resumed grids skip
+  completed points.
+
+Chunking (``chunksize``) batches several tasks per worker submission
+to amortize pickling overhead on large grids of cheap points; it has
+no effect on results, only on scheduling granularity.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.progress import NullReporter, ProgressReporter
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level callable when the engine runs with
+    ``max_workers > 1`` (process pools pickle submitted work).  ``key``
+    is an optional stable cache key (see :func:`repro.engine.keys.
+    stable_key`); tasks without a key are never cached.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    key: Optional[str] = None
+    label: str = ""
+
+    def execute(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Timing/accounting for one :meth:`ExperimentEngine.run` call."""
+
+    tasks_total: int
+    cache_hits: int
+    executed: int
+    workers: int
+    elapsed_seconds: float
+
+    @property
+    def rate(self) -> float:
+        """Tasks per second over the whole run (hits included)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.tasks_total / self.elapsed_seconds
+
+
+def _run_chunk(tasks: Sequence[Task]) -> list:
+    """Execute a chunk of tasks in order (runs inside a worker)."""
+    return [task.execute() for task in tasks]
+
+
+class ExperimentEngine:
+    """Runs independent experiment tasks, optionally in parallel."""
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunksize: int = 1,
+        progress: bool = False,
+        progress_label: str = "engine",
+        progress_stream=None,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be at least 1, got {max_workers}"
+            )
+        if chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be at least 1, got {chunksize}"
+            )
+        self.max_workers = max_workers
+        self.cache = cache
+        self.chunksize = chunksize
+        self.progress = progress
+        self.progress_label = progress_label
+        self.progress_stream = progress_stream
+        #: Stats of the most recent :meth:`run` (None before any run).
+        self.last_stats: Optional[EngineStats] = None
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, tasks: Sequence[Task]) -> list:
+        """Execute every task and return results in task order."""
+        tasks = list(tasks)
+        started = monotonic()
+        reporter = (
+            ProgressReporter(
+                len(tasks), self.progress_label, self.progress_stream
+            )
+            if self.progress
+            else NullReporter()
+        )
+        reporter.start()
+
+        results: list = [None] * len(tasks)
+        pending: list[int] = []
+        hits = 0
+        for index, task in enumerate(tasks):
+            if self.cache is not None and task.key is not None:
+                hit, value = self.cache.get(task.key)
+                if hit:
+                    results[index] = value
+                    hits += 1
+                    reporter.update(cached=True)
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.max_workers > 1 and len(pending) > 1:
+                self._run_parallel(tasks, pending, results, reporter)
+            else:
+                self._run_serial(tasks, pending, results, reporter)
+
+        reporter.finish()
+        self.last_stats = EngineStats(
+            tasks_total=len(tasks),
+            cache_hits=hits,
+            executed=len(pending),
+            workers=self.max_workers,
+            elapsed_seconds=monotonic() - started,
+        )
+        return results
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        argument_tuples: Iterable[tuple],
+        keys: Optional[Sequence[Optional[str]]] = None,
+    ) -> list:
+        """Convenience: one task per argument tuple."""
+        argument_tuples = list(argument_tuples)
+        if keys is None:
+            keys = [None] * len(argument_tuples)
+        if len(keys) != len(argument_tuples):
+            raise ConfigurationError(
+                f"{len(argument_tuples)} argument tuples but "
+                f"{len(keys)} cache keys"
+            )
+        tasks = [
+            Task(fn, tuple(args), key=key)
+            for args, key in zip(argument_tuples, keys)
+        ]
+        return self.run(tasks)
+
+    # -- execution paths -------------------------------------------------
+
+    def _store(self, task: Task, value: Any) -> None:
+        if self.cache is not None and task.key is not None:
+            self.cache.put(task.key, value)
+
+    def _run_serial(
+        self,
+        tasks: Sequence[Task],
+        pending: Sequence[int],
+        results: list,
+        reporter,
+    ) -> None:
+        for index in pending:
+            value = tasks[index].execute()
+            self._store(tasks[index], value)
+            results[index] = value
+            reporter.update()
+
+    def _chunks(self, pending: Sequence[int]) -> list[list[int]]:
+        return [
+            list(pending[start : start + self.chunksize])
+            for start in range(0, len(pending), self.chunksize)
+        ]
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[Task],
+        pending: Sequence[int],
+        results: list,
+        reporter,
+    ) -> None:
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        except (OSError, NotImplementedError, PermissionError):
+            # No fork/semaphores on this platform: degrade gracefully.
+            self._run_serial(tasks, pending, results, reporter)
+            return
+        chunks = self._chunks(pending)
+        try:
+            futures = {
+                executor.submit(
+                    _run_chunk, [tasks[index] for index in chunk]
+                ): chunk
+                for chunk in chunks
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_EXCEPTION
+                )
+                for future in finished:
+                    chunk = futures[future]
+                    values = future.result()  # re-raises task errors
+                    for index, value in zip(chunk, values):
+                        self._store(tasks[index], value)
+                        results[index] = value
+                        reporter.update()
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+def default_worker_count() -> int:
+    """A sensible ``--workers`` default: every core, at least one."""
+    return max(1, os.cpu_count() or 1)

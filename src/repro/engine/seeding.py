@@ -1,0 +1,73 @@
+"""Deterministic seed derivation for parallel experiments.
+
+Cross-process determinism needs two properties the standard library
+does not give out of the box:
+
+* **Stability** — the same (root seed, task index) pair must produce
+  the same derived seed in every process and every interpreter run.
+  Python's ``hash()`` is salted per process (``PYTHONHASHSEED``), so
+  seeds are derived with SHA-256 instead.
+* **Independence** — nearby root seeds must not produce overlapping
+  streams.  The classic footgun is ``seed + offset``: two batches
+  rooted at 42 and 43 share almost all of their schedules.  Hashing
+  the (root, index, stream) triple scatters neighbours across the full
+  64-bit space.
+
+The ``stream`` label namespaces derivations so that, e.g., the mixture
+workload's component sub-seeds can never collide with a concatenation's
+phase sub-seeds for the same (root, index) pair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+_SEED_BITS = 64
+
+
+def derive_seed(root_seed: int, index: int, stream: str = "") -> int:
+    """A 64-bit seed for task ``index`` of the stream rooted at
+    ``root_seed`` — stable across processes and interpreter runs.
+
+    >>> derive_seed(0, 0) != derive_seed(0, 1)
+    True
+    >>> derive_seed(42, 0) == derive_seed(42, 0)
+    True
+    """
+    material = f"repro-seed:{stream}:{root_seed}:{index}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[: _SEED_BITS // 8], "big")
+
+
+def spawn_rng(root_seed: int, index: int, stream: str = "") -> random.Random:
+    """A fresh :class:`random.Random` on the derived seed."""
+    return random.Random(derive_seed(root_seed, index, stream))
+
+
+SeedLike = Union[int, random.Random]
+
+
+def rng_from(seed: SeedLike) -> random.Random:
+    """Normalize an explicit seed into a private ``random.Random``.
+
+    Generators accept either an integer seed (the common, fully
+    reproducible case) or a caller-owned ``Random`` instance (for
+    composing generators on one stream).  Module-level ``random``
+    state is never touched.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def seed_material(seed: SeedLike) -> int:
+    """An integer root usable with :func:`derive_seed`.
+
+    Integers pass through; a ``Random`` instance contributes 64 bits
+    drawn from its stream (advancing it — the caller owns the stream).
+    """
+    if isinstance(seed, random.Random):
+        return seed.getrandbits(_SEED_BITS)
+    return seed

@@ -14,9 +14,9 @@ chaotic" without hand-rolling the plumbing every time.
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
 
+from repro.engine.seeding import SeedLike, derive_seed, rng_from, seed_material
 from repro.exceptions import ConfigurationError
 from repro.model.schedule import Schedule
 from repro.workloads.generator import WorkloadGenerator
@@ -46,14 +46,17 @@ class MixtureWorkload(WorkloadGenerator):
         self.components = tuple(components)
         self.weights = tuple(weights)
 
-    def generate(self, seed: int = 0) -> Schedule:
-        rng = random.Random(seed)
-        # Pre-generate one pool per component (independent sub-seeds),
-        # then draw requests from the pools in mixture proportion —
-        # each component's internal structure (bursts, phases) survives
-        # within its own subsequence.
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        root = seed_material(seed)
+        rng = rng_from(seed)
+        # Pre-generate one pool per component on hash-derived sub-seeds
+        # (the old ``seed * 31 + index`` scheme collided: root 0's
+        # component 31 shared root 1's component 0), then draw requests
+        # from the pools in mixture proportion — each component's
+        # internal structure (bursts, phases) survives within its own
+        # subsequence.
         pools = [
-            list(component.generate(seed * 31 + index + 1))
+            list(component.generate(derive_seed(root, index, "mixture")))
             for index, component in enumerate(self.components)
         ]
         positions = [0] * len(pools)
@@ -89,8 +92,9 @@ class ConcatWorkload(WorkloadGenerator):
         )
         self.components = tuple(components)
 
-    def generate(self, seed: int = 0) -> Schedule:
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        root = seed_material(seed)
         requests = []
         for index, component in enumerate(self.components):
-            requests.extend(component.generate(seed * 31 + index + 1))
+            requests.extend(component.generate(derive_seed(root, index, "concat")))
         return Schedule(tuple(requests))

@@ -6,6 +6,13 @@ failing workloads.  Generators produce
 :class:`~repro.model.schedule.Schedule` objects — pure request
 sequences — so any DOM algorithm (and the offline optimum) can consume
 them unchanged.
+
+Seeding discipline (required for cross-process determinism in the
+experiment engine): no generator ever touches the module-level
+``random`` state.  ``generate`` accepts an integer seed or a
+caller-owned :class:`random.Random` and builds every request from that
+private stream, so the same seed yields the identical trace in any
+process, any interpreter run, any ``PYTHONHASHSEED``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import abc
 import random
 from typing import Iterable, Optional, Sequence
 
+from repro.engine.seeding import SeedLike, derive_seed, rng_from
 from repro.exceptions import ConfigurationError
 from repro.model.request import Request, read, write
 from repro.model.schedule import Schedule
@@ -32,12 +40,27 @@ class WorkloadGenerator(abc.ABC):
         self.length = length
 
     @abc.abstractmethod
-    def generate(self, seed: int = 0) -> Schedule:
+    def generate(self, seed: SeedLike = 0) -> Schedule:
         """Produce a schedule of ``self.length`` requests."""
 
     def batch(self, count: int, seed: int = 0) -> list[Schedule]:
-        """Produce ``count`` schedules with derived seeds."""
+        """Produce ``count`` schedules with consecutive seeds.
+
+        Kept for compatibility with existing suites; note that batches
+        rooted at nearby seeds overlap (seed 42's second schedule is
+        seed 43's first).  New code wanting disjoint suites should use
+        :meth:`batch_independent`.
+        """
         return [self.generate(seed + offset) for offset in range(count)]
+
+    def batch_independent(self, count: int, root_seed: int = 0) -> list[Schedule]:
+        """``count`` schedules on hash-derived seeds: batches rooted at
+        different seeds never share a schedule stream."""
+        stream = type(self).__name__
+        return [
+            self.generate(derive_seed(root_seed, offset, stream))
+            for offset in range(count)
+        ]
 
 
 def weighted_choice(

@@ -14,13 +14,13 @@ generators:
 
 from __future__ import annotations
 
-import random
 from typing import Iterable
 
 from repro.exceptions import ConfigurationError
 from repro.model.request import read, write
 from repro.model.schedule import Schedule
 from repro.types import ProcessorId
+from repro.engine.seeding import SeedLike, rng_from
 from repro.workloads.generator import (
     WorkloadGenerator,
     random_request,
@@ -50,8 +50,8 @@ class ZipfWorkload(WorkloadGenerator):
             1.0 / (rank ** exponent) for rank in range(1, len(self.processors) + 1)
         ]
 
-    def generate(self, seed: int = 0) -> Schedule:
-        rng = random.Random(seed)
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        rng = rng_from(seed)
         requests = tuple(
             random_request(
                 rng,
@@ -89,8 +89,8 @@ class ReaderWriterWorkload(WorkloadGenerator):
         self.writers = writers
         self.write_fraction = validate_write_fraction(write_fraction)
 
-    def generate(self, seed: int = 0) -> Schedule:
-        rng = random.Random(seed)
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        rng = rng_from(seed)
         requests = []
         for _ in range(self.length):
             if rng.random() < self.write_fraction:

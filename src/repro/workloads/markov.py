@@ -20,12 +20,12 @@ sweep between the two regimes of paper §5.1.
 
 from __future__ import annotations
 
-import random
 from typing import Iterable
 
 from repro.exceptions import ConfigurationError
 from repro.model.schedule import Schedule
 from repro.types import ProcessorId
+from repro.engine.seeding import SeedLike, rng_from
 from repro.workloads.generator import (
     WorkloadGenerator,
     random_request,
@@ -52,8 +52,8 @@ class MarkovWorkload(WorkloadGenerator):
         self.stickiness = stickiness
         self.locality = locality
 
-    def generate(self, seed: int = 0) -> Schedule:
-        rng = random.Random(seed)
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        rng = rng_from(seed)
         hot = rng.choice(self.processors)
         requests = []
         for _ in range(self.length):

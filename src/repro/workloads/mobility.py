@@ -22,13 +22,13 @@ with F consisting of the base-station processor") is captured by
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.model.request import read, write
 from repro.model.schedule import Schedule
 from repro.types import ProcessorId, ProcessorSet, processor_set
+from repro.engine.seeding import SeedLike, rng_from
 from repro.workloads.generator import WorkloadGenerator
 
 
@@ -63,8 +63,8 @@ class MobileLocationWorkload(WorkloadGenerator):
         self.move_probability = move_probability
         self.start_cell = start_cell
 
-    def generate(self, seed: int = 0) -> Schedule:
-        rng = random.Random(seed)
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        rng = rng_from(seed)
         current = self.start_cell
         requests = []
         for _ in range(self.length):

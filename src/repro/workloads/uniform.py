@@ -9,11 +9,11 @@ without favouring either by construction.
 
 from __future__ import annotations
 
-import random
 from typing import Iterable
 
 from repro.model.schedule import Schedule
 from repro.types import ProcessorId
+from repro.engine.seeding import SeedLike, rng_from
 from repro.workloads.generator import (
     WorkloadGenerator,
     random_request,
@@ -33,8 +33,8 @@ class UniformWorkload(WorkloadGenerator):
         super().__init__(processors, length)
         self.write_fraction = validate_write_fraction(write_fraction)
 
-    def generate(self, seed: int = 0) -> Schedule:
-        rng = random.Random(seed)
+    def generate(self, seed: SeedLike = 0) -> Schedule:
+        rng = rng_from(seed)
         requests = tuple(
             random_request(
                 rng, rng.choice(self.processors), self.write_fraction

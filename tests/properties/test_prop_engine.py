@@ -1,0 +1,131 @@
+"""Property: the parallel engine is invisible in the results.
+
+For random cost models, workloads, worker counts and chunk sizes, a
+sweep submitted through a multi-process :class:`ExperimentEngine` must
+be *exactly* equal — row for row, float for float — to the serial
+``sweep()`` it replaces.  Same for the region grid and for cached
+re-runs.  Example counts stay small because every parallel example
+pays a real process-pool startup.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.regions import empirical_map
+from repro.analysis.sweep import cost_sweep, sweep
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.engine import ExperimentEngine, ResultCache, derive_seed
+from repro.workloads.adversarial import adversarial_suite
+from repro.workloads.uniform import UniformWorkload
+from tests.properties.strategies import stationary_models
+
+SCHEME = frozenset({1, 2})
+
+WORKERS = st.sampled_from([2, 3])
+CHUNKS = st.sampled_from([1, 2, 5])
+
+
+def _sweep_arguments(model, root_seed):
+    """A small but non-trivial write-fraction sweep specification."""
+
+    def schedules_for(value):
+        generator = UniformWorkload(range(1, 5), 8, value)
+        return generator.batch_independent(
+            2, root_seed=derive_seed(root_seed, int(value * 100))
+        )
+
+    return dict(
+        parameter_name="write_fraction",
+        parameter_values=[0.0, 0.3, 0.6],
+        factories_for=lambda value: {
+            "SA": lambda: StaticAllocation(SCHEME),
+            "DA": lambda: DynamicAllocation(SCHEME),
+        },
+        schedules_for=schedules_for,
+        model_for=lambda value: model,
+    )
+
+
+@given(
+    model=stationary_models(),
+    root_seed=st.integers(min_value=0, max_value=2**31),
+    workers=WORKERS,
+    chunksize=CHUNKS,
+)
+@settings(max_examples=5, deadline=None)
+def test_parallel_sweep_equals_serial(model, root_seed, workers, chunksize):
+    arguments = _sweep_arguments(model, root_seed)
+    serial = sweep(**arguments)
+    parallel = sweep(
+        **arguments,
+        engine=ExperimentEngine(max_workers=workers, chunksize=chunksize),
+    )
+    assert parallel == serial  # dataclass equality: exact floats
+
+
+@given(
+    model=stationary_models(),
+    root_seed=st.integers(min_value=0, max_value=2**31),
+    workers=WORKERS,
+    chunksize=CHUNKS,
+)
+@settings(max_examples=3, deadline=None)
+def test_parallel_cost_sweep_equals_serial(
+    model, root_seed, workers, chunksize
+):
+    arguments = _sweep_arguments(model, root_seed)
+    serial = cost_sweep(**arguments)
+    parallel = cost_sweep(
+        **arguments,
+        engine=ExperimentEngine(max_workers=workers, chunksize=chunksize),
+    )
+    assert parallel == serial
+
+
+@given(
+    model=stationary_models(),
+    root_seed=st.integers(min_value=0, max_value=2**31),
+    workers=WORKERS,
+    chunksize=CHUNKS,
+)
+@settings(max_examples=3, deadline=None)
+def test_cached_rerun_equals_fresh(model, root_seed, workers, chunksize):
+    arguments = _sweep_arguments(model, root_seed)
+    fresh = sweep(**arguments)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        first = sweep(
+            **arguments,
+            engine=ExperimentEngine(
+                max_workers=workers, chunksize=chunksize, cache=cache
+            ),
+        )
+        replay_engine = ExperimentEngine(cache=cache)
+        replay = sweep(**arguments, engine=replay_engine)
+        assert first == fresh
+        assert replay == fresh
+        assert replay_engine.last_stats.cache_hits == 3
+        assert replay_engine.last_stats.executed == 0
+
+
+@given(workers=WORKERS, chunksize=CHUNKS)
+@settings(max_examples=3, deadline=None)
+def test_parallel_region_map_equals_serial(workers, chunksize):
+    suite = adversarial_suite(SCHEME, [4, 5], rounds=2)
+    serial = empirical_map(
+        suite, SCHEME, c_d_max=1.0, c_c_max=1.0, steps=3
+    )
+    parallel = empirical_map(
+        suite,
+        SCHEME,
+        c_d_max=1.0,
+        c_c_max=1.0,
+        steps=3,
+        engine=ExperimentEngine(max_workers=workers, chunksize=chunksize),
+    )
+    assert parallel == serial

@@ -182,6 +182,85 @@ class TestCalibrate:
         assert "DA" in out
 
 
+SWEEP_GOLDEN = """\
+Sweep of c_d over 2 points (SC model, 2 x 6-request uniform schedules per point, seed 3)
+  c_d  DA max ratio  SA max ratio  DA mean cost  SA mean cost
+-----  ------------  ------------  ------------  ------------
+0.500         1.408         1.175        12.800        10.750
+1.000         1.106         1.149        10.400        10.600
+"""
+
+
+class TestSweep:
+    GRID = (
+        "sweep", "--parameter", "c_d", "--values", "0.5,1.0",
+        "--processors", "4", "--length", "6", "--schedules", "2",
+        "--seed", "3",
+    )
+
+    def test_golden_output_on_tiny_grid(self, capsys):
+        code, out, _ = run_cli(capsys, *self.GRID)
+        assert code == 0
+        assert out == SWEEP_GOLDEN
+
+    def test_parallel_run_matches_golden(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *self.GRID, "--workers", "2", "--chunksize", "2"
+        )
+        assert code == 0
+        assert out == SWEEP_GOLDEN
+
+    def test_cache_dir_reruns_match_golden(self, capsys, tmp_path):
+        argv = self.GRID + ("--cache-dir", str(tmp_path / "cache"))
+        first_code, first_out, _ = run_cli(capsys, *argv)
+        second_code, second_out, _ = run_cli(capsys, *argv)
+        assert first_code == second_code == 0
+        assert first_out == second_out == SWEEP_GOLDEN
+
+    def test_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        code, out, _ = run_cli(capsys, *self.GRID, "--csv", str(path))
+        assert code == 0
+        header = path.read_text(encoding="utf-8").splitlines()[0]
+        assert header.startswith("c_d,")
+        assert "SA" in header and "DA" in header
+
+    def test_write_fraction_parameter(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "--parameter", "write_fraction",
+            "--values", "0.0,0.5", "--processors", "3", "--length", "5",
+            "--schedules", "1",
+        )
+        assert code == 0
+        assert "write_fraction" in out
+
+    def test_unknown_parameter_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--parameter", "bogus", "--values", "1.0"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "write_fraction" in err  # the valid choices are listed
+
+    def test_zero_workers_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.GRID + ("--workers", "0"))
+        assert excinfo.value.code == 2
+        assert "expected a positive integer, got 0" in capsys.readouterr().err
+
+    def test_negative_workers_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.GRID + ("--workers", "-3"))
+        assert excinfo.value.code == 2
+
+    def test_malformed_values_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--parameter", "c_d", "--values", "0.5,oops"])
+        assert excinfo.value.code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+
 class TestAvailability:
     def test_rowa_table_and_best_quorums(self, capsys):
         code, out, _ = run_cli(

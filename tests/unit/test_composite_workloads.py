@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine.seeding import derive_seed
 from repro.exceptions import ConfigurationError
 from repro.workloads.composite import ConcatWorkload, MixtureWorkload
 from repro.workloads.markov import MarkovWorkload
@@ -64,7 +65,7 @@ class TestMixture:
         # The bursty component's subsequence keeps its burst structure:
         # its requests, read in order, equal a prefix of its own output.
         own = [r for r in schedule if r.processor != 9]
-        expected = list(bursty.generate(5 * 31 + 1))[: len(own)]
+        expected = list(bursty.generate(derive_seed(5, 0, "mixture")))[: len(own)]
         assert own == expected
 
 

@@ -1,0 +1,291 @@
+"""Unit tests for the experiment engine (repro.engine).
+
+Covers deterministic seed derivation (including cross-process and
+cross-interpreter stability), the runner's ordering/chunking/serial
+fallback contracts, the progress reporter, and error propagation.
+The cache layer has its own module (``test_engine_cache.py``); the
+serial/parallel bit-equivalence property lives in
+``tests/properties/test_prop_engine.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import (
+    ExperimentEngine,
+    NullReporter,
+    ProgressReporter,
+    ResultCache,
+    Task,
+    derive_seed,
+    rng_from,
+    spawn_rng,
+    stable_key,
+)
+from repro.engine.keys import canonicalize
+from repro.engine.runner import default_worker_count
+from repro.engine.seeding import seed_material
+from repro.exceptions import ConfigurationError
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _run_python(code: str, hash_seed: str) -> str:
+    """Run a snippet in a fresh interpreter; return its stdout."""
+    environment = dict(os.environ)
+    environment["PYTHONHASHSEED"] = hash_seed
+    environment["PYTHONPATH"] = SRC_DIR + os.pathsep + environment.get(
+        "PYTHONPATH", ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=environment,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestSeeding:
+    def test_deterministic(self):
+        assert derive_seed(42, 7) == derive_seed(42, 7)
+
+    def test_index_and_root_and_stream_all_matter(self):
+        baseline = derive_seed(1, 2, "a")
+        assert derive_seed(1, 3, "a") != baseline
+        assert derive_seed(2, 2, "a") != baseline
+        assert derive_seed(1, 2, "b") != baseline
+
+    def test_no_consecutive_overlap(self):
+        # The footgun being fixed: roots 42 and 43 must not share
+        # derived streams.
+        streams_42 = {derive_seed(42, index) for index in range(10)}
+        streams_43 = {derive_seed(43, index) for index in range(10)}
+        assert streams_42.isdisjoint(streams_43)
+
+    def test_spawn_rng_reproducible(self):
+        assert (
+            spawn_rng(5, 1).random() == spawn_rng(5, 1).random()
+        )
+
+    def test_rng_from_passthrough_and_int(self):
+        rng = rng_from(3)
+        assert rng_from(rng) is rng
+        assert rng_from(3).random() == rng_from(3).random()
+
+    def test_seed_material_int_passthrough(self):
+        assert seed_material(9) == 9
+
+    def test_seed_material_draws_from_rng(self):
+        a = seed_material(rng_from(1))
+        b = seed_material(rng_from(1))
+        assert a == b  # same stream position -> same material
+
+    def test_stable_across_interpreters_and_hash_seeds(self):
+        code = (
+            "from repro.engine import derive_seed;"
+            "print(derive_seed(123, 45, 'bench'))"
+        )
+        first = _run_python(code, hash_seed="1")
+        second = _run_python(code, hash_seed="2")
+        assert first == second == f"{derive_seed(123, 45, 'bench')}\n"
+
+
+class TestStableKey:
+    def test_dict_order_independent(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert stable_key(frozenset({3, 1, 2})) == stable_key(
+            frozenset({2, 3, 1})
+        )
+
+    def test_value_perturbation_changes_key(self):
+        assert stable_key({"c_d": 1.5}) != stable_key({"c_d": 1.5000001})
+
+    def test_float_int_distinct(self):
+        assert stable_key(1) != stable_key(1.0)
+
+    def test_dataclass_and_object_support(self):
+        from repro.model.cost_model import stationary
+
+        assert stable_key(stationary(0.2, 1.5)) == stable_key(
+            stationary(0.2, 1.5)
+        )
+        assert stable_key(stationary(0.2, 1.5)) != stable_key(
+            stationary(0.2, 1.6)
+        )
+
+    def test_rejects_unstable_values(self):
+        with pytest.raises(ConfigurationError):
+            stable_key(lambda: None)
+
+    def test_canonical_handles_nesting(self):
+        payload = {"outer": [{"inner": frozenset({1, 2})}, (1.5, None)]}
+        assert canonicalize(payload) == canonicalize(payload)
+
+    def test_stable_across_interpreters_and_hash_seeds(self):
+        code = (
+            "from repro.engine import stable_key;"
+            "from repro.model.cost_model import stationary;"
+            "print(stable_key({'model': stationary(0.2, 1.5),"
+            " 'algorithms': {'SA', 'DA'}, 'seed': 7}))"
+        )
+        first = _run_python(code, hash_seed="1")
+        second = _run_python(code, hash_seed="2")
+        assert first == second
+
+
+def double(value):
+    return value * 2
+
+
+def fail(value):
+    raise ValueError(f"boom {value}")
+
+
+class TestEngineRunner:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentEngine(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentEngine(chunksize=0)
+
+    def test_serial_preserves_order(self):
+        engine = ExperimentEngine()
+        assert engine.map(double, [(i,) for i in range(6)]) == [
+            0, 2, 4, 6, 8, 10,
+        ]
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    @pytest.mark.parametrize("chunksize", [1, 2, 4])
+    def test_parallel_preserves_order(self, workers, chunksize):
+        engine = ExperimentEngine(max_workers=workers, chunksize=chunksize)
+        assert engine.map(double, [(i,) for i in range(9)]) == [
+            2 * i for i in range(9)
+        ]
+
+    def test_stats_recorded(self):
+        engine = ExperimentEngine()
+        engine.map(double, [(1,), (2,)])
+        stats = engine.last_stats
+        assert stats.tasks_total == 2
+        assert stats.executed == 2
+        assert stats.cache_hits == 0
+        assert stats.elapsed_seconds >= 0
+        assert stats.rate > 0
+
+    def test_serial_error_propagates(self):
+        engine = ExperimentEngine()
+        with pytest.raises(ValueError, match="boom"):
+            engine.map(fail, [(1,)])
+
+    def test_parallel_error_propagates(self):
+        engine = ExperimentEngine(max_workers=2)
+        with pytest.raises(ValueError, match="boom"):
+            engine.map(fail, [(1,), (2,), (3,)])
+
+    def test_single_pending_task_runs_in_process(self):
+        # One miss never pays pool startup: identity check via a
+        # side-effecting closure (unpicklable on purpose).
+        state = []
+        engine = ExperimentEngine(max_workers=4)
+        results = engine.run([Task(state.append, (7,))])
+        assert results == [None] and state == [7]
+
+    def test_map_key_length_mismatch(self):
+        engine = ExperimentEngine()
+        with pytest.raises(ConfigurationError):
+            engine.map(double, [(1,)], keys=["a", "b"])
+
+    def test_cached_results_identical_to_fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        keys = [stable_key(("double", i)) for i in range(4)]
+        fresh = engine.map(double, [(i,) for i in range(4)], keys=keys)
+        again = engine.map(double, [(i,) for i in range(4)], keys=keys)
+        assert fresh == again
+        assert engine.last_stats.cache_hits == 4
+        assert engine.last_stats.executed == 0
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+
+class TestProgressReporter:
+    def test_reports_rate_and_final_line(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            3, label="demo", stream=stream, min_interval=0.0
+        )
+        reporter.start()
+        reporter.update()
+        reporter.update(cached=True)
+        reporter.update()
+        reporter.finish()
+        output = stream.getvalue()
+        assert "demo: 3/3 tasks (1 cached)" in output
+        assert "elapsed" in output
+        # finish() after a final update() must not duplicate the line.
+        assert output.count("elapsed") == 1
+
+    def test_eta_none_before_progress(self):
+        reporter = ProgressReporter(5, stream=io.StringIO())
+        assert reporter.eta_seconds is None
+        assert reporter.rate == 0.0
+
+    def test_null_reporter_interface(self):
+        reporter = NullReporter()
+        reporter.start()
+        reporter.update()
+        reporter.finish()
+
+
+def generate_trace(kind: str, seed: int) -> str:
+    """Render a workload deterministically (module-level: picklable)."""
+    from repro.workloads import trace
+    from repro.workloads.markov import MarkovWorkload
+    from repro.workloads.uniform import UniformWorkload
+
+    if kind == "markov":
+        generator = MarkovWorkload(range(1, 6), 40, 0.3)
+    else:
+        generator = UniformWorkload(range(1, 6), 40, 0.3)
+    return trace.dumps(generator.generate(seed))
+
+
+class TestCrossProcessDeterminism:
+    """Two generators with the same seed must produce identical traces
+    in separate processes (the engine's correctness hinges on it)."""
+
+    @pytest.mark.parametrize("kind", ["uniform", "markov"])
+    def test_same_seed_same_trace_across_processes(self, kind):
+        seed = derive_seed(2024, 5, kind)
+        code = (
+            "from repro.workloads import trace;"
+            "from repro.workloads.markov import MarkovWorkload;"
+            "from repro.workloads.uniform import UniformWorkload;"
+            f"generator = (MarkovWorkload(range(1, 6), 40, 0.3) if {kind!r} == 'markov'"
+            " else UniformWorkload(range(1, 6), 40, 0.3));"
+            f"print(trace.dumps(generator.generate({seed})), end='')"
+        )
+        # Different PYTHONHASHSEED values force different interpreter
+        # hash randomization — the traces must not care.
+        first = _run_python(code, hash_seed="0")
+        second = _run_python(code, hash_seed="424242")
+        assert first == second == generate_trace(kind, seed)
+
+    def test_engine_workers_see_identical_streams(self):
+        engine = ExperimentEngine(max_workers=2)
+        serial = ExperimentEngine()
+        arguments = [("uniform", derive_seed(7, i)) for i in range(4)]
+        assert engine.map(generate_trace, arguments) == serial.map(
+            generate_trace, arguments
+        )

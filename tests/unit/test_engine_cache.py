@@ -1,0 +1,137 @@
+"""Unit tests for the on-disk result cache (repro.engine.cache).
+
+The contract under test: identical configurations hit, perturbed
+configurations miss, corrupted entries are discarded rather than
+raised, and keys are stable across interpreter runs (no ``id()`` or
+dict-iteration-order dependence anywhere in the key pipeline).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.engine import ExperimentEngine, ResultCache, stable_key
+from repro.engine.cache import CACHE_FORMAT
+from repro.model.cost_model import stationary
+
+
+def sample_key(c_c: float = 0.3, c_d: float = 1.2, seed: int = 7) -> str:
+    return stable_key(
+        {
+            "model": stationary(c_c, c_d),
+            "workload": {"kind": "uniform", "length": 20, "n": 5},
+            "algorithms": frozenset({"SA", "DA"}),
+            "seed": seed,
+        }
+    )
+
+
+class TestHitMiss:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(sample_key()) == (False, None)
+
+    def test_hit_on_identical_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(sample_key(), {"ratio": 1.25})
+        hit, value = cache.get(sample_key())
+        assert hit and value == {"ratio": 1.25}
+
+    def test_miss_on_perturbed_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(sample_key(c_d=1.2), "original")
+        assert cache.get(sample_key(c_d=1.2000001)) == (False, None)
+        assert cache.get(sample_key(seed=8)) == (False, None)
+        # The original entry is untouched by the misses.
+        assert cache.get(sample_key(c_d=1.2)) == (True, "original")
+
+    def test_contains_len_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [sample_key(seed=s) for s in range(3)]
+        for index, key in enumerate(keys):
+            cache.put(key, index)
+        assert len(cache) == 3
+        assert keys[0] in cache
+        assert sample_key(seed=99) not in cache
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(sample_key(), "old")
+        cache.put(sample_key(), "new")
+        assert cache.get(sample_key()) == (True, "new")
+
+
+class TestCorruption:
+    def test_truncated_entry_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(sample_key(), "value")
+        path = cache.path_for(sample_key())
+        path.write_bytes(path.read_bytes()[:5])
+        assert cache.get(sample_key()) == (False, None)
+        assert not path.exists()  # the bad file is gone, not resurrected
+
+    def test_garbage_bytes_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(sample_key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not a pickle")
+        assert cache.get(sample_key()) == (False, None)
+        assert not path.exists()
+
+    def test_wrong_format_version_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(sample_key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": CACHE_FORMAT + 1, "key": sample_key(), "value": 1}
+        path.write_bytes(pickle.dumps(entry))
+        assert cache.get(sample_key()) == (False, None)
+
+    def test_key_mismatch_discarded(self, tmp_path):
+        # A renamed file must never serve another configuration's result.
+        cache = ResultCache(tmp_path)
+        cache.put(sample_key(seed=1), "for-seed-1")
+        source = cache.path_for(sample_key(seed=1))
+        target = cache.path_for(sample_key(seed=2))
+        target.parent.mkdir(parents=True, exist_ok=True)
+        source.replace(target)
+        assert cache.get(sample_key(seed=2)) == (False, None)
+
+    def test_recomputed_after_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        key = stable_key(("square", 6))
+        assert engine.map(square, [(6,)], keys=[key]) == [36]
+        cache.path_for(key).write_bytes(b"\x80corrupt")
+        assert engine.map(square, [(6,)], keys=[key]) == [36]
+        assert engine.last_stats.executed == 1  # recomputed, not crashed
+        assert cache.get(key) == (True, 36)  # and rewritten
+
+
+def square(value):
+    return value * value
+
+
+class TestKeyStability:
+    """Key derivation never depends on interpreter state.
+
+    Cross-interpreter stability under different PYTHONHASHSEED values
+    is exercised in test_engine.py (subprocess-based); here we pin the
+    in-process invariants that make it possible.
+    """
+
+    def test_same_payload_fresh_objects(self):
+        assert sample_key() == sample_key()
+
+    def test_key_is_hex_digest(self):
+        key = sample_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_no_id_dependence(self):
+        # Two structurally equal but distinct objects must share a key.
+        first = stationary(0.4, 1.1)
+        second = stationary(0.4, 1.1)
+        assert first is not second
+        assert stable_key(first) == stable_key(second)
