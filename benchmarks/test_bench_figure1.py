@@ -16,7 +16,9 @@ The 81 grid points are independent, so the map is submitted through
 the experiment engine: ``REPRO_BENCH_WORKERS=8`` fans the grid out
 over 8 processes (identical output, wall-clock divided by the worker
 count on idle cores), and ``REPRO_BENCH_CACHE=dir`` makes re-runs skip
-completed points.
+completed points.  Within each point, SA/DA costs evaluate through the
+vectorized schedule kernel (``docs/kernel.md``) — bit-identical to the
+stepped path.
 """
 
 from __future__ import annotations

@@ -9,6 +9,9 @@ The benchmark prints, for a row of (c_c, c_d) points, the worst
 measured SA ratio over a mixed adversarial + random suite and the
 theorem bound; and, for the Proposition 1 family, the measured ratio as
 the schedule grows, converging to the bound from below.
+
+SA costs inside the harness evaluate through the vectorized schedule
+kernel (``docs/kernel.md``), bit-identically to stepping.
 """
 
 from __future__ import annotations

@@ -39,6 +39,7 @@ import numpy as np
 from repro.engine.keys import stable_key
 from repro.engine.runner import ExperimentEngine, Task
 from repro.exceptions import ConfigurationError
+from repro.kernel.compile import popcount
 from repro.model.cost_model import CostModel
 
 
@@ -107,9 +108,12 @@ class DAExpectedCost:
         n, t, w = self.n, self.threshold, self.write_fraction
         c_io, c_c, c_d = self.model.c_io, self.model.c_c, self.model.c_d
         nc = self.non_core  # non-core processors, index 0 is p
-        states = [mask for mask in range(1, 1 << nc)]
-        index = {mask: position for position, mask in enumerate(states)}
-        size = len(states)
+        # State ``mask`` (the non-empty subsets of non-core holders)
+        # lives at row ``mask - 1``; everything below is vectorized
+        # over all states at once, looping only over the nc issuers.
+        masks = np.arange(1, 1 << nc, dtype=np.int64)
+        rows = masks - 1
+        size = masks.shape[0]
         transition = np.zeros((size, size))
         cost = np.zeros(size)
 
@@ -119,42 +123,34 @@ class DAExpectedCost:
         saving_read = c_c + 2 * c_io + c_d
         write_base = (t - 1) * c_d + t * c_io
 
-        for mask in states:
-            row = index[mask]
-            holders = mask.bit_count()
-            # Reads by core members (t-1 of them) and by holders: local.
-            local_readers = (t - 1) + holders
-            transition[row, row] += local_readers * read_probability
-            cost[row] += local_readers * read_probability * local_read
+        # Reads by core members (t-1 of them) and by holders: local.
+        local_readers = (t - 1) + popcount(masks)
+        transition[rows, rows] += local_readers * read_probability
+        cost += local_readers * read_probability * local_read
+        for reader in range(nc):
             # Reads by each non-holder: saving-read, the reader joins.
-            for reader in range(nc):
-                bit = 1 << reader
-                if mask & bit:
-                    continue
-                joined = index[mask | bit]
-                transition[row, joined] += read_probability
-                cost[row] += read_probability * saving_read
-            # Writes by core members or p: M resets to {p}.
-            insiders = t  # (t-1) core members plus p
-            survivor = 1  # p's bit
-            stale = (mask & ~survivor).bit_count()
-            target = index[survivor]
-            transition[row, target] += insiders * write_probability
-            cost[row] += insiders * write_probability * (
-                write_base + stale * c_c
-            )
+            bit = 1 << reader
+            non_holder = (masks & bit) == 0
+            source = rows[non_holder]
+            joined = (masks[non_holder] | bit) - 1
+            transition[source, joined] += read_probability
+            cost[source] += read_probability * saving_read
+        # Writes by core members or p: M resets to {p}.
+        insiders = t  # (t-1) core members plus p
+        survivor = 1  # p's bit
+        stale = popcount(masks & ~survivor)
+        transition[rows, survivor - 1] += insiders * write_probability
+        cost += insiders * write_probability * (write_base + stale * c_c)
+        for writer in range(1, nc):
             # Writes by each non-core, non-p processor j: M resets to {j}.
-            for writer in range(1, nc):
-                bit = 1 << writer
-                stale = (mask & ~bit).bit_count()
-                transition[row, index[bit]] += write_probability
-                cost[row] += write_probability * (write_base + stale * c_c)
+            bit = 1 << writer
+            stale = popcount(masks & ~bit)
+            transition[rows, bit - 1] += write_probability
+            cost += write_probability * (write_base + stale * c_c)
 
         stationary = self._stationary(transition)
         expected_cost = float(stationary @ cost)
-        sizes = np.array(
-            [(t - 1) + mask.bit_count() for mask in states], dtype=float
-        )
+        sizes = (t - 1) + popcount(masks).astype(float)
         expected_size = float(stationary @ sizes)
         return DAExpectedResult(expected_cost, expected_size)
 

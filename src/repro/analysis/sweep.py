@@ -22,6 +22,7 @@ import copy
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
+from repro import kernel
 from repro.core.base import OnlineDOM
 from repro.core.competitive import CompetitivenessHarness
 from repro.engine.keys import stable_key
@@ -101,14 +102,30 @@ def _cost_point(
     schedules: tuple[Schedule, ...],
     prototypes: dict[str, OnlineDOM],
 ) -> SweepRow:
-    """The reference-free flavor: raw mean costs only."""
+    """The reference-free flavor: raw mean costs only.
+
+    Kernel-supported algorithms (SA, DA) share one compiled batch per
+    point — the suite is lowered to arrays once and each algorithm is
+    evaluated in a single vectorized pass, bit-identical to stepping.
+    Other algorithms run the stepped path on fresh deep copies.
+    """
+    supported = [p for p in prototypes.values() if kernel.supports(p)]
+    batch = None
+    if supported and schedules:
+        extra: set[int] = set()
+        for prototype in supported:
+            extra |= prototype.initial_scheme
+        batch = kernel.compile_batch(list(schedules), extra)
     mean_costs: dict[str, float] = {}
     for name, prototype in prototypes.items():
-        costs = []
-        for schedule in schedules:
-            algorithm = copy.deepcopy(prototype)
-            allocation = algorithm.run(schedule)
-            costs.append(model.schedule_cost(allocation))
+        if batch is not None and kernel.supports(prototype):
+            costs = kernel.batch_costs(prototype, schedules, model, batch=batch)
+        else:
+            costs = []
+            for schedule in schedules:
+                algorithm = copy.deepcopy(prototype)
+                allocation = algorithm.run(schedule)
+                costs.append(model.schedule_cost(allocation))
         mean_costs[name] = sum(costs) / len(costs)
     return SweepRow(value, dict(mean_costs), dict(mean_costs), mean_costs)
 
@@ -196,7 +213,7 @@ def sweep(
     schedules_for: Callable[[float], Sequence[Schedule]],
     model_for: Callable[[float], CostModel],
     threshold_for: Callable[[float], int] = lambda value: 2,
-    exact_limit: int = 12,
+    exact_limit: int = 14,
     engine: Optional[ExperimentEngine] = None,
 ) -> SweepResult:
     """Generic sweep driver.

@@ -25,6 +25,10 @@ Subcommands
                      the parallel experiment engine (``--workers N``,
                      ``--cache-dir`` for resumable grids), with table,
                      CSV and ASCII-plot output.
+``repro bench``      time the stepped path vs the vectorized kernel
+                     (``--smoke`` for the CI-sized run, ``--check`` to
+                     exit non-zero if the kernel is slower or costs
+                     diverge, ``--out`` for a JSON report).
 
 Every command writes plain text to stdout; ``repro workload --out``
 writes a trace file loadable with ``repro compare --trace``.
@@ -478,6 +482,28 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.kernel.bench import format_result, run_kernel_bench, write_result
+
+    result = run_kernel_bench(
+        smoke=args.smoke,
+        seed=args.seed,
+        write_fraction=args.write_fraction,
+        model=_model(args),
+    )
+    print(format_result(result))
+    if args.out:
+        write_result(result, args.out)
+        print(f"\nwrote JSON report to {args.out}")
+    if args.check and not result["check_passed"]:
+        print(
+            "bench: kernel slower than stepped or costs diverged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -587,6 +613,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="ASCII chart of each algorithm's ratios")
     _add_engine_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench", help="stepped vs kernel timing harness"
+    )
+    _add_model_arguments(bench)
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the kernel is slower than stepping or costs diverge",
+    )
+    bench.add_argument("--out", help="write the JSON report here")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="root seed for the benchmark workload")
+    bench.add_argument("--write-fraction", type=float, default=0.2,
+                       help="workload write fraction")
+    bench.set_defaults(handler=cmd_bench)
 
     availability = subparsers.add_parser(
         "availability", help="ROWA vs quorum availability"

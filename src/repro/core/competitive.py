@@ -11,6 +11,12 @@ the benchmark harness validates Theorems 1-4.
 For instances too large for the exact DP, ratios can be computed
 against the sound lower bound of :mod:`repro.core.offline_bounds`; the
 resulting "ratio" is then an upper bound on the true ratio.
+
+Algorithm costs route through the vectorized kernel
+(:mod:`repro.kernel`) whenever the algorithm is one the kernel
+evaluates exactly (SA and DA); kernel costs are bit-identical to the
+stepped path, so measured ratios are unchanged.  Pass
+``use_kernel=False`` to force the stepped reference path everywhere.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import kernel
 from repro.core.base import OnlineDOM
 from repro.core.beam_optimal import BeamOptimal
 from repro.core.offline_bounds import optimal_cost_lower_bound
@@ -30,9 +37,19 @@ from repro.types import ProcessorSet
 
 
 def cost_of(
-    algorithm: OnlineDOM, schedule: Schedule, cost_model: CostModel
+    algorithm: OnlineDOM,
+    schedule: Schedule,
+    cost_model: CostModel,
+    use_kernel: bool = True,
 ) -> float:
-    """COST_A(I, psi): run the online algorithm and price its schedule."""
+    """COST_A(I, psi): the online algorithm's cost on the schedule.
+
+    Kernel-supported algorithms (SA, DA) are evaluated in closed form
+    without stepping; everything else runs the stepped reference path.
+    Both paths return bit-identical costs.
+    """
+    if use_kernel and kernel.supports(algorithm):
+        return kernel.schedule_cost(algorithm, schedule, cost_model)
     allocation = algorithm.run(schedule)
     return cost_model.schedule_cost(allocation)
 
@@ -126,15 +143,21 @@ class CompetitivenessHarness:
     exact_limit:
         Instances whose DP universe exceeds this many processors fall
         back to the linear-time lower bound (making measured ratios
-        upper bounds on the truth).
+        upper bounds on the truth).  The vectorized DP makes 14
+        practical (the previous per-state implementation capped at 12).
+    use_kernel:
+        Evaluate kernel-supported algorithms (SA, DA) through the
+        vectorized kernel — bit-identical costs, far faster on long
+        schedules and batches.
     """
 
     def __init__(
         self,
         cost_model: CostModel,
         threshold: int = 2,
-        exact_limit: int = 12,
+        exact_limit: int = 14,
         beam_width: int = 0,
+        use_kernel: bool = True,
     ) -> None:
         self.cost_model = cost_model
         self.threshold = threshold
@@ -143,6 +166,7 @@ class CompetitivenessHarness:
         #: beam-search *upper* bound on OPT, so their observations carry
         #: a ratio interval instead of a one-sided bound.
         self.beam_width = beam_width
+        self.use_kernel = use_kernel
         self._solver = OfflineOptimal(cost_model, threshold, exact_limit)
 
     def reference_cost(
@@ -161,18 +185,25 @@ class CompetitivenessHarness:
         self, algorithm: OnlineDOM, schedule: Schedule
     ) -> RatioObservation:
         """Measure one schedule."""
-        algorithm_cost = cost_of(algorithm, schedule, self.cost_model)
-        reference, exact = self.reference_cost(
-            schedule, algorithm.initial_scheme
+        algorithm_cost = cost_of(
+            algorithm, schedule, self.cost_model, use_kernel=self.use_kernel
         )
+        return self._record(schedule, algorithm_cost, algorithm.initial_scheme)
+
+    def _record(
+        self,
+        schedule: Schedule,
+        algorithm_cost: float,
+        initial_scheme: ProcessorSet,
+    ) -> RatioObservation:
+        """Pair an already-computed algorithm cost with the reference."""
+        reference, exact = self.reference_cost(schedule, initial_scheme)
         reference_upper = None
         if not exact and self.beam_width > 0:
             beam = BeamOptimal(
                 self.cost_model, self.threshold, self.beam_width
             )
-            reference_upper = beam.solve(
-                schedule, algorithm.initial_scheme
-            ).cost
+            reference_upper = beam.solve(schedule, initial_scheme).cost
         return RatioObservation(
             schedule, algorithm_cost, reference, exact, reference_upper
         )
@@ -182,15 +213,28 @@ class CompetitivenessHarness:
         make_algorithm: Callable[[], OnlineDOM],
         schedules: Sequence[Schedule],
     ) -> RatioReport:
-        """Measure a suite of schedules with fresh algorithm instances."""
+        """Measure a suite of schedules with fresh algorithm instances.
+
+        When the factory produces a kernel-supported algorithm, the
+        whole suite compiles into one batch and every algorithm cost is
+        evaluated in a single vectorized pass (bit-identical to
+        stepping each schedule through a fresh instance).
+        """
         if not schedules:
             raise ConfigurationError("no schedules to measure")
-        observations = []
-        name = None
-        for schedule in schedules:
-            algorithm = make_algorithm()
-            name = algorithm.name
-            observations.append(self.observe(algorithm, schedule))
+        probe = make_algorithm()
+        name = probe.name
+        if self.use_kernel and kernel.supports(probe):
+            costs = kernel.batch_costs(probe, list(schedules), self.cost_model)
+            observations = [
+                self._record(schedule, cost, probe.initial_scheme)
+                for schedule, cost in zip(schedules, costs)
+            ]
+        else:
+            observations = [
+                self.observe(make_algorithm(), schedule)
+                for schedule in schedules
+            ]
         return RatioReport(name or "unknown", tuple(observations))
 
 
@@ -199,7 +243,7 @@ def measure_ratios(
     schedules: Sequence[Schedule],
     cost_model: CostModel,
     threshold: int = 2,
-    exact_limit: int = 12,
+    exact_limit: int = 14,
 ) -> RatioReport:
     """One-shot convenience wrapper around :class:`CompetitivenessHarness`."""
     harness = CompetitivenessHarness(cost_model, threshold, exact_limit)
@@ -211,7 +255,7 @@ def compare_algorithms(
     schedules: Sequence[Schedule],
     cost_model: CostModel,
     threshold: int = 2,
-    exact_limit: int = 12,
+    exact_limit: int = 14,
 ) -> dict[str, RatioReport]:
     """Measure several algorithms on the same schedule suite."""
     harness = CompetitivenessHarness(cost_model, threshold, exact_limit)

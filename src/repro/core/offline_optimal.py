@@ -1,4 +1,4 @@
-"""Exact offline-optimal DOM via dynamic programming.
+"""Exact offline-optimal DOM via a vectorized bitmask dynamic program.
 
 Paper §4.1 defines competitiveness against *"an offline t-available
 constrained DOM algorithm that produces the minimum cost legal
@@ -8,7 +8,9 @@ exactly, for moderate processor counts, by dynamic programming over
 allocation schemes:
 
 * **State** — the allocation scheme (a subset of processors of size at
-  least ``t``) after a prefix of the schedule.
+  least ``t``) after a prefix of the schedule, encoded as an int
+  bitmask over the instance's universe (bit ``i`` stands for the
+  ``i``-th smallest id — :func:`repro.types.mask_of`).
 * **Read transition** — a non-saving read keeps the scheme and
   optimally uses a singleton execution set (``{i}`` if the reader is a
   data processor, else any single data processor: enlarging the
@@ -16,28 +18,58 @@ allocation schemes:
   saving-read additionally stores the object at the reader (one extra
   I/O) and moves to ``scheme ∪ {reader}``.
 * **Write transition** — the new scheme equals the write's execution
-  set, which may be *any* subset of size at least ``t``; we enumerate
-  all of them, pricing the §3.2/§3.3 write formula.
+  set, which may be *any* subset of size at least ``t``.  Naively this
+  is ``O(4^n)`` per write (every mask to every target); we instead
+  compute ``min over M of dp[M] + c_c·|M∖T|`` for *all* targets at
+  once with an ``O(n·2^n)`` bit-at-a-time min-transform over dense
+  numpy arrays, plus memoized per-target base costs (the
+  write-formula terms that do not couple to the predecessor state).
+
+Two further devices keep the DP honest and fast:
+
+* **Lower-bound prune** — SA's cost (evaluated in closed form by the
+  vectorized kernel, :mod:`repro.kernel`) is a sound upper bound on
+  OPT, and every remaining request costs at least ``c_io`` (read) or
+  ``t·c_io + (t-1)·c_d`` (write); states whose prefix cost plus the
+  remaining lower bound exceed the upper bound can never complete an
+  optimal schedule and are dropped.
+* **Deterministic witness** — every argmin breaks cost ties toward
+  the numerically smallest bitmask (and, for reads, toward the
+  saving-read's smaller predecessor), so the witness allocation
+  schedule is a pure function of the input rather than an artifact of
+  dict iteration order.
 
 Only processors that appear in the schedule or the initial scheme can
 ever be useful scheme members (membership helps only local reads and
 costs invalidations otherwise, and the cost model is homogeneous), so
 the DP universe is ``initial_scheme ∪ schedule.processors``.  The state
 space is exponential in that universe; a guard refuses universes above
-``max_processors`` (default 12).
+``max_processors`` (default 14 — the vectorized transform runs a
+14-processor universe in well under a second; the old per-state python
+loops capped out at 12).  Cost-only solves (:meth:`optimal_cost`) keep
+one ``2^n`` float array; witness solves additionally store one such
+array per request for the backward reconstruction pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, List, Optional
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.kernel.compile import compile_schedule, popcount
+from repro.kernel.evaluate import sa_request_costs
 from repro.model.allocation import AllocationSchedule
 from repro.model.cost_model import CostModel
-from repro.model.request import ExecutedRequest
+from repro.model.request import ExecutedRequest, Request
 from repro.model.schedule import Schedule
-from repro.types import ProcessorSet, processor_set
+from repro.types import ProcessorSet, mask_of, processor_set, set_of_mask
+
+#: Absolute slack added to the prune's upper bound so float noise can
+#: never discard a state on the true optimal path.
+_PRUNE_SLACK = 1e-9
 
 
 @dataclass(frozen=True)
@@ -63,14 +95,19 @@ class OfflineOptimal:
         The availability threshold ``t >= 2``.
     max_processors:
         Upper limit on the DP universe size; the state space is
-        ``O(2^n)`` and each write transition is ``O(4^n)``.
+        ``O(2^n)`` and each write transition ``O(n·2^n)``.
+    prune:
+        Apply the SA-upper-bound / suffix-lower-bound prune (on by
+        default; it never changes the optimal cost, only discards
+        provably hopeless states).
     """
 
     def __init__(
         self,
         cost_model: CostModel,
         threshold: int = 2,
-        max_processors: int = 12,
+        max_processors: int = 14,
+        prune: bool = True,
     ) -> None:
         if threshold < 2:
             raise ConfigurationError(
@@ -79,6 +116,7 @@ class OfflineOptimal:
         self.cost_model = cost_model
         self.threshold = threshold
         self.max_processors = max_processors
+        self.prune = prune
 
     # -- public API -----------------------------------------------------------
 
@@ -88,6 +126,24 @@ class OfflineOptimal:
         initial_scheme: Iterable[int],
     ) -> OptimalResult:
         """Minimum cost and a witness legal, t-available allocation schedule."""
+        initial, universe = self._check(schedule, initial_scheme)
+        cost, allocation = self._solve(
+            schedule, initial, universe, want_witness=True
+        )
+        assert allocation is not None
+        return OptimalResult(cost, allocation)
+
+    def optimal_cost(
+        self, schedule: Schedule, initial_scheme: Iterable[int]
+    ) -> float:
+        """COST_OPT(I, psi): the minimum cost only (no witness memory)."""
+        initial, universe = self._check(schedule, initial_scheme)
+        cost, _ = self._solve(schedule, initial, universe, want_witness=False)
+        return cost
+
+    def _check(
+        self, schedule: Schedule, initial_scheme: Iterable[int]
+    ) -> tuple[ProcessorSet, list[int]]:
         initial = processor_set(initial_scheme)
         if len(initial) < self.threshold:
             raise ConfigurationError(
@@ -101,153 +157,225 @@ class OfflineOptimal:
                 f"offline optimum is limited to {self.max_processors} "
                 "(use repro.core.offline_bounds for larger instances)"
             )
-        return self._solve(schedule, initial, universe)
+        return initial, universe
 
-    def optimal_cost(
-        self, schedule: Schedule, initial_scheme: Iterable[int]
-    ) -> float:
-        """COST_OPT(I, psi): the minimum cost only."""
-        return self.solve(schedule, initial_scheme).cost
-
-    # -- dynamic programming -------------------------------------------------------
+    # -- dynamic programming ---------------------------------------------------
 
     def _solve(
         self,
         schedule: Schedule,
         initial: ProcessorSet,
         universe: list[int],
-    ) -> OptimalResult:
-        index_of = {proc: pos for pos, proc in enumerate(universe)}
+        want_witness: bool,
+    ) -> tuple[float, Optional[AllocationSchedule]]:
         n = len(universe)
         t = self.threshold
         c_io = self.cost_model.c_io
         c_c = self.cost_model.c_c
         c_d = self.cost_model.c_d
+        fetch = c_c + c_io + c_d
 
-        def mask_of(members: Iterable[int]) -> int:
-            mask = 0
-            for member in members:
-                mask |= 1 << index_of[member]
-            return mask
+        size = 1 << n
+        masks = np.arange(size, dtype=np.int64)
+        pop = popcount(masks)
+        invalid_target = pop < t
+        # Write base costs, memoized once per instance: the |X|-coupled
+        # terms of the §3.2/§3.3 write formula for a writer inside /
+        # outside the execution set.  Only the invalidation term
+        # (|stale|·c_c) couples to the predecessor state.
+        base_in = pop * c_io + (pop - 1) * c_d
+        base_out = pop * (c_io + c_d)
 
-        def set_of(mask: int) -> ProcessorSet:
-            return frozenset(
-                universe[pos] for pos in range(n) if mask >> pos & 1
-            )
+        suffix_bound, upper_bound = self._prune_bounds(schedule, initial)
 
-        initial_mask = mask_of(initial)
-        targets = [
-            mask for mask in range(1 << n) if mask.bit_count() >= t
-        ]
-        # Cost of a write execution set X, excluding the invalidation
-        # (state-coupled) term, for a writer inside / outside X.
-        base_in = {
-            mask: mask.bit_count() * c_io + (mask.bit_count() - 1) * c_d
-            for mask in targets
-        }
-        base_out = {
-            mask: mask.bit_count() * (c_io + c_d) for mask in targets
-        }
+        initial_mask = mask_of(initial, universe)
+        dp = np.full(size, np.inf)
+        dp[initial_mask] = 0.0
+        history: List[np.ndarray] = []
 
-        # dp maps scheme-mask -> best cost of the processed prefix;
-        # parents[step][mask] = (previous mask, executed request).
-        dp: dict[int, float] = {initial_mask: 0.0}
-        parents: list[dict[int, tuple[int, ExecutedRequest]]] = []
-
-        for request in schedule:
-            new_dp: dict[int, float] = {}
-            step_parents: dict[int, tuple[int, ExecutedRequest]] = {}
+        for step, request in enumerate(schedule):
+            if want_witness:
+                history.append(dp)
+            bit_index = universe.index(request.processor)
+            bit = 1 << bit_index
             if request.is_read:
-                self._read_transitions(
-                    request, dp, new_dp, step_parents,
-                    index_of, set_of, c_io, c_c, c_d,
-                )
+                dp = self._read_step(dp, masks, bit, c_io, fetch)
             else:
-                self._write_transitions(
-                    request, dp, new_dp, step_parents,
-                    index_of, set_of, targets, base_in, base_out, c_c,
+                dp = self._write_step(
+                    dp, masks, bit, n, c_c, base_in, base_out, invalid_target
                 )
-            dp = new_dp
-            parents.append(step_parents)
+            if self.prune and np.isfinite(upper_bound):
+                hopeless = (
+                    dp + suffix_bound[step + 1] > upper_bound + _PRUNE_SLACK
+                )
+                dp = np.where(hopeless, np.inf, dp)
 
-        best_mask = min(dp, key=lambda mask: (dp[mask], mask))
-        best_cost = dp[best_mask]
-        steps = self._reconstruct(parents, best_mask)
+        best_mask = int(np.argmin(dp))  # first minimum == smallest mask
+        best_cost = float(dp[best_mask])
+        if not want_witness:
+            return best_cost, None
+        steps = self._reconstruct(
+            schedule, history, best_mask, universe, masks,
+            c_io, c_c, fetch, base_in, base_out,
+        )
         allocation = AllocationSchedule(initial, tuple(steps))
-        return OptimalResult(best_cost, allocation)
+        return best_cost, allocation
 
-    def _read_transitions(
-        self, request, dp, new_dp, step_parents,
-        index_of, set_of, c_io, c_c, c_d,
-    ) -> None:
-        reader = request.processor
-        reader_bit = 1 << index_of[reader]
-        for mask, cost in dp.items():
-            if mask & reader_bit:
-                executed = ExecutedRequest(request, frozenset({reader}))
-                self._relax(
-                    new_dp, step_parents, mask, cost + c_io, mask, executed
-                )
-            else:
-                server = min(set_of(mask))
-                fetch = c_c + c_io + c_d
-                executed = ExecutedRequest(request, frozenset({server}))
-                self._relax(
-                    new_dp, step_parents, mask, cost + fetch, mask, executed
-                )
-                saving = ExecutedRequest(
-                    request, frozenset({server}), saving=True
-                )
-                self._relax(
-                    new_dp,
-                    step_parents,
-                    mask | reader_bit,
-                    cost + fetch + c_io,
-                    mask,
-                    saving,
-                )
+    def _prune_bounds(
+        self, schedule: Schedule, initial: ProcessorSet
+    ) -> tuple[np.ndarray, float]:
+        """Suffix lower bounds per position and SA's cost as an upper bound.
 
-    def _write_transitions(
-        self, request, dp, new_dp, step_parents,
-        index_of, set_of, targets, base_in, base_out, c_c,
-    ) -> None:
-        writer = request.processor
-        writer_bit = 1 << index_of[writer]
-        for mask, cost in dp.items():
-            for target in targets:
-                stale = mask & ~target
-                if target & writer_bit:
-                    step_cost = base_in[target] + stale.bit_count() * c_c
-                else:
-                    step_cost = (
-                        base_out[target]
-                        + (stale & ~writer_bit).bit_count() * c_c
-                    )
-                candidate = cost + step_cost
-                bound = new_dp.get(target)
-                if bound is None or candidate < bound:
-                    executed = ExecutedRequest(request, set_of(target))
-                    self._relax(
-                        new_dp, step_parents, target, candidate, mask, executed
-                    )
+        ``suffix_bound[k]`` under-approximates the cheapest possible
+        cost of requests ``k..end`` from *any* state: a read costs at
+        least one local I/O and a write at least ``t`` I/Os plus
+        ``t - 1`` data messages (execution sets have size >= t).  SA
+        over the full initial scheme is legal and t-available, so its
+        closed-form kernel cost bounds OPT from above.
+        """
+        t = self.threshold
+        c_io, c_d = self.cost_model.c_io, self.cost_model.c_d
+        lb_read = c_io
+        lb_write = t * c_io + (t - 1) * c_d
+        suffix = np.zeros(len(schedule) + 1)
+        running = 0.0
+        for position in range(len(schedule) - 1, -1, -1):
+            running += lb_write if schedule[position].is_write else lb_read
+            suffix[position] = running
+        if not self.prune or len(schedule) == 0:
+            return suffix, np.inf
+        batch = compile_schedule(schedule, initial)
+        costs = sa_request_costs(batch, initial, self.cost_model, t)
+        return suffix, float(costs.sum())
 
     @staticmethod
-    def _relax(new_dp, step_parents, state, cost, prev_state, executed) -> None:
-        bound = new_dp.get(state)
-        if bound is None or cost < bound:
-            new_dp[state] = cost
-            step_parents[state] = (prev_state, executed)
+    def _read_step(
+        dp: np.ndarray, masks: np.ndarray, bit: int, c_io: float, fetch: float
+    ) -> np.ndarray:
+        has_reader = (masks & bit) != 0
+        # Member: local read.  Non-member: on-demand non-saving fetch.
+        new_dp = np.where(has_reader, dp + c_io, dp + fetch)
+        # Saving-read: mask -> mask | bit at one extra I/O.  Sources
+        # map injectively onto targets, so a plain minimum suffices.
+        sources = ~has_reader
+        targets = masks[sources] | bit
+        saving = (dp[sources] + fetch) + c_io
+        new_dp[targets] = np.minimum(new_dp[targets], saving)
+        return new_dp
 
     @staticmethod
-    def _reconstruct(parents, final_mask) -> list[ExecutedRequest]:
-        steps: list[ExecutedRequest] = []
+    def _write_step(
+        dp: np.ndarray,
+        masks: np.ndarray,
+        bit: int,
+        n: int,
+        c_c: float,
+        base_in: np.ndarray,
+        base_out: np.ndarray,
+        invalid_target: np.ndarray,
+    ) -> np.ndarray:
+        """All write transitions at once via the O(n·2^n) min-transform.
+
+        ``transform[T] = min over M of dp[M] + c_c·|M ∖ T|`` — bits of
+        the predecessor outside the target each cost one invalidation.
+        Processing one bit position at a time: a target containing bit
+        ``b`` absorbs predecessors with or without ``b`` for free; a
+        target without it pays ``c_c`` to absorb predecessors with it.
+        A writer outside the target is never invalidated, which is the
+        same as reading the transform at ``T | writer_bit``.
+        """
+        transform = dp.copy()
+        for position in range(n):
+            shaped = transform.reshape(-1, 2, 1 << position)
+            low = shaped[:, 0, :]
+            high = shaped[:, 1, :]
+            new_low = np.minimum(low, high + c_c)
+            new_high = np.minimum(high, low)
+            transform = np.stack([new_low, new_high], axis=1).reshape(-1)
+        writer_in_target = (masks & bit) != 0
+        new_dp = np.where(
+            writer_in_target,
+            transform + base_in,
+            transform[masks | bit] + base_out,
+        )
+        new_dp[invalid_target] = np.inf
+        return new_dp
+
+    # -- witness reconstruction ------------------------------------------------
+
+    def _reconstruct(
+        self,
+        schedule: Schedule,
+        history: List[np.ndarray],
+        final_mask: int,
+        universe: list[int],
+        masks: np.ndarray,
+        c_io: float,
+        c_c: float,
+        fetch: float,
+        base_in: np.ndarray,
+        base_out: np.ndarray,
+    ) -> List[ExecutedRequest]:
+        """Walk backward from the best final mask, recomputing each
+        step's candidate costs and taking deterministic argmins
+        (smallest predecessor mask on ties)."""
+        steps: List[ExecutedRequest] = []
         mask = final_mask
-        for step_parents in reversed(parents):
-            prev_mask, executed = step_parents[mask]
+        for position in range(len(schedule) - 1, -1, -1):
+            request = schedule[position]
+            dp_prev = history[position]
+            mask, executed = self._reconstruct_step(
+                request, dp_prev, mask, universe, masks,
+                c_io, c_c, fetch, base_in, base_out,
+            )
             steps.append(executed)
-            mask = prev_mask
         steps.reverse()
         return steps
+
+    def _reconstruct_step(
+        self,
+        request: Request,
+        dp_prev: np.ndarray,
+        mask: int,
+        universe: list[int],
+        masks: np.ndarray,
+        c_io: float,
+        c_c: float,
+        fetch: float,
+        base_in: np.ndarray,
+        base_out: np.ndarray,
+    ) -> tuple[int, ExecutedRequest]:
+        bit = 1 << universe.index(request.processor)
+        if request.is_read:
+            reader = request.processor
+            if mask & bit:
+                saving_pred = mask & ~bit
+                saving_value = (dp_prev[saving_pred] + fetch) + c_io
+                local_value = dp_prev[mask] + c_io
+                # Tie-break toward the smaller predecessor mask — the
+                # saving-read's source (mask minus the reader's bit).
+                if saving_value <= local_value:
+                    server = min(set_of_mask(saving_pred, universe))
+                    executed = ExecutedRequest(
+                        request, frozenset({server}), saving=True
+                    )
+                    return saving_pred, executed
+                executed = ExecutedRequest(request, frozenset({reader}))
+                return mask, executed
+            server = min(set_of_mask(mask, universe))
+            executed = ExecutedRequest(request, frozenset({server}))
+            return mask, executed
+        # Write: the scheme after the request IS the execution set; any
+        # predecessor is possible, priced by the invalidation count.
+        if mask & bit:
+            stale = popcount(masks & ~mask)
+            candidates = dp_prev + (base_in[mask] + stale * c_c)
+        else:
+            stale = popcount(masks & ~mask & ~bit)
+            candidates = dp_prev + (base_out[mask] + stale * c_c)
+        predecessor = int(np.argmin(candidates))  # smallest mask on ties
+        executed = ExecutedRequest(request, set_of_mask(mask, universe))
+        return predecessor, executed
 
 
 def optimal_cost(
@@ -255,7 +383,7 @@ def optimal_cost(
     initial_scheme: Iterable[int],
     cost_model: CostModel,
     threshold: int = 2,
-    max_processors: int = 12,
+    max_processors: int = 14,
 ) -> float:
     """Convenience wrapper: COST of the optimal offline DOM algorithm."""
     solver = OfflineOptimal(cost_model, threshold, max_processors)
@@ -267,7 +395,7 @@ def optimal_allocation(
     initial_scheme: Iterable[int],
     cost_model: CostModel,
     threshold: int = 2,
-    max_processors: int = 12,
+    max_processors: int = 14,
 ) -> AllocationSchedule:
     """Convenience wrapper: a witness optimal allocation schedule."""
     solver = OfflineOptimal(cost_model, threshold, max_processors)

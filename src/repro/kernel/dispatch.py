@@ -1,0 +1,85 @@
+"""Dispatch: route supported algorithm objects through the kernel.
+
+The kernel evaluates exactly the paper's two algorithms — SA
+(:class:`~repro.core.static_allocation.StaticAllocation`) and DA
+(:class:`~repro.core.dynamic_allocation.DynamicAllocation`).  Dispatch
+is by *exact type*: a subclass may override :meth:`decide`/`observe`
+and silently diverge from the closed forms, so subclasses (and every
+other algorithm: CDDR, CACHE, CONV, ...) stay on the stepped
+reference path.
+
+Costs returned here are bit-identical to the stepped path (see
+:mod:`repro.kernel.evaluate`), so callers may swap paths freely
+without perturbing cached or published results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.base import OnlineDOM
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.kernel.compile import CompiledBatch, compile_batch
+from repro.model.cost_model import CostModel
+from repro.model.schedule import Schedule
+
+
+def supports(algorithm: OnlineDOM) -> bool:
+    """True iff the kernel can evaluate this algorithm exactly."""
+    return type(algorithm) in (StaticAllocation, DynamicAllocation)
+
+
+def request_costs(
+    algorithm: OnlineDOM, batch: CompiledBatch, model: CostModel
+) -> np.ndarray:
+    """Per-request costs of a supported algorithm over a compiled batch."""
+    from repro.kernel.evaluate import da_request_costs, sa_request_costs
+
+    if type(algorithm) is StaticAllocation:
+        return sa_request_costs(
+            batch, algorithm.initial_scheme, model, algorithm.threshold
+        )
+    if type(algorithm) is DynamicAllocation:
+        return da_request_costs(
+            batch,
+            algorithm.initial_scheme,
+            model,
+            primary=algorithm.primary,
+            threshold=algorithm.threshold,
+        )
+    raise ConfigurationError(
+        f"the kernel does not support {type(algorithm).__name__}; "
+        "use the stepped OnlineDOM path"
+    )
+
+
+def batch_costs(
+    algorithm: OnlineDOM,
+    schedules: Sequence[Schedule],
+    model: CostModel,
+    batch: CompiledBatch | None = None,
+) -> List[float]:
+    """Total cost of a supported algorithm on every schedule at once.
+
+    Compiles the batch (universe widened with the algorithm's initial
+    scheme) unless the caller hands in a pre-compiled one, evaluates
+    the whole batch in one pass, and reduces per-trace totals exactly
+    like the stepped path.
+    """
+    from repro.kernel.evaluate import schedule_totals
+
+    if batch is None:
+        batch = compile_batch(schedules, algorithm.initial_scheme)
+    costs = request_costs(algorithm, batch, model)
+    return schedule_totals(costs, batch.lengths)
+
+
+def schedule_cost(
+    algorithm: OnlineDOM, schedule: Schedule, model: CostModel
+) -> float:
+    """Total cost of a supported algorithm on one schedule."""
+    return batch_costs(algorithm, [schedule], model)[0]

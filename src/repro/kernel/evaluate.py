@@ -1,0 +1,304 @@
+"""Vectorized SA and DA cost evaluation over compiled batches.
+
+Both evaluators return a ``(B, T)`` float64 array of **per-request
+costs** (zero at padding) that is *bit-identical*, element for
+element, to pricing the stepped algorithm's allocation schedule with
+:meth:`repro.model.cost_model.CostModel.request_costs` — the property
+suite in ``tests/properties/test_prop_kernel.py`` asserts exact
+(``==``) equality, not approximate.  That works because every
+per-request price reduces to one of a handful of closed forms, each
+evaluated with the *same* sequence of IEEE-754 operations as
+``CostBreakdown.priced`` (``io*c_io + control*c_c + data*c_d``, left
+to right).
+
+**SA** is a pure closed form: the scheme ``Q`` never moves, so each
+request's cost depends only on (kind, issuer-in-``Q``) — four scalars
+selected per position.
+
+**DA** needs the scheme at every request.  Its evolution is a
+*segmented cumulative bitmask*: a write by ``j`` resets the scheme to
+``F ∪ {p}`` (if ``j ∈ F ∪ {p}``) or ``F ∪ {j}``, and every read OR-s
+the reader's bit in (a saving-read joins the scheme; a read by a
+member is already in).  Hence the scheme before request ``i`` is::
+
+    base(segment of i)  |  OR of reader bits in the segment before i
+
+where segments are delimited by writes.  We evaluate this without
+stepping: for every universe bit, the position of its last read and
+the position of the last write are ``maximum.accumulate`` scans, and
+the bit is a member iff it is in the segment base or its last read
+came after the last write.  Everything is vectorized over the whole
+batch; the only python loop is over the (small) universe.
+
+The stepped path (:class:`~repro.core.base.OnlineDOM`) remains the
+reference implementation — it validates legality/availability per
+step and supports every algorithm; the kernel handles exactly SA and
+DA (see :mod:`repro.kernel.dispatch`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kernel.compile import CompiledBatch
+from repro.model.cost_model import CostModel
+from repro.types import ProcessorId, ProcessorSet, processor_set
+
+
+def _check_scheme(
+    batch: CompiledBatch, scheme: ProcessorSet, threshold: Optional[int]
+) -> int:
+    """Mirror :class:`OnlineDOM`'s constructor validation; return ``t``."""
+    if threshold is None:
+        threshold = len(scheme)
+    if threshold < 2:
+        raise ConfigurationError(
+            f"the availability threshold t must be at least 2, got {threshold}"
+        )
+    if len(scheme) < threshold:
+        raise ConfigurationError(
+            f"initial scheme {sorted(scheme)} is smaller than t={threshold}"
+        )
+    for processor in scheme:
+        batch.bit_index(processor)  # raises on a foreign id
+    return threshold
+
+
+def sa_request_costs(
+    batch: CompiledBatch,
+    initial_scheme: Iterable[ProcessorId],
+    model: CostModel,
+    threshold: Optional[int] = None,
+) -> np.ndarray:
+    """Per-request SA costs (read-one-write-all over the fixed ``Q``).
+
+    Pure closed form: with ``q = |Q|`` the price of a request is
+
+    ======================  =============================================
+    read by a member        ``c_io``
+    read by a non-member    ``c_io + c_c + c_d``  (singleton server set)
+    write by a member       ``q*c_io + (q-1)*c_d``
+    write by a non-member   ``q*c_io + q*c_d``
+    ======================  =============================================
+    """
+    scheme = processor_set(initial_scheme)
+    _check_scheme(batch, scheme, threshold)
+    q = len(scheme)
+    c_io, c_c, c_d = model.c_io, model.c_c, model.c_d
+
+    # The four scalars, each priced exactly like CostBreakdown.priced.
+    read_member = 1 * c_io + 0 * c_c + 0 * c_d
+    read_foreign = 1 * c_io + 1 * c_c + 1 * c_d
+    write_member = q * c_io + 0 * c_c + (q - 1) * c_d
+    write_foreign = q * c_io + 0 * c_c + q * c_d
+
+    in_q = batch.bit_flags(scheme)
+    member = in_q[batch.procs]
+    costs = np.where(
+        batch.is_write,
+        np.where(member, write_member, write_foreign),
+        np.where(member, read_member, read_foreign),
+    )
+    return np.where(batch.valid(), costs, 0.0)
+
+
+def _da_membership(
+    batch: CompiledBatch,
+    scheme: ProcessorSet,
+    primary: ProcessorId,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """DA scheme membership before every request.
+
+    Returns ``(member, x_now, in_fp)`` where ``member`` is the
+    ``(B, T, n)`` bool tensor of scheme membership *before* request
+    ``(b, i)``, ``x_now`` is the ``(B, T)`` bit index of the non-core
+    member of the execution set a write at that position would use
+    (``p`` for core/primary writers, the writer otherwise), and
+    ``in_fp`` is the ``(n,)`` membership table of ``F ∪ {p}``.
+    """
+    core = scheme - {primary}
+    n = len(batch.universe)
+    procs, is_write = batch.procs, batch.is_write
+    batch_size, horizon = procs.shape
+    if horizon == 0:
+        # A batch of empty traces: no requests, no membership to track.
+        return (
+            np.empty((batch_size, 0, n), dtype=bool),
+            np.empty((batch_size, 0), dtype=np.int64),
+            batch.bit_flags(scheme),
+        )
+    position = np.arange(horizon, dtype=np.int64)[None, :]
+
+    # Last write strictly before each position (-1: none yet).
+    write_positions = np.where(is_write, position, -1)
+    last_write = np.empty_like(write_positions)
+    last_write[:, 0] = -1
+    if horizon > 1:
+        last_write[:, 1:] = np.maximum.accumulate(
+            write_positions, axis=1
+        )[:, :-1]
+    has_write_before = last_write >= 0
+
+    # The non-core execution-set member chosen by the *previous* write
+    # (defines the segment base) and by a write *at* each position.
+    p_idx = batch.bit_index(primary)
+    in_fp = batch.bit_flags(scheme)  # F ∪ {p} == the initial scheme
+    writer_before = np.take_along_axis(
+        procs.astype(np.int64), np.maximum(last_write, 0), axis=1
+    )
+    x_before = np.where(in_fp[writer_before], p_idx, writer_before)
+    x_now = np.where(in_fp[procs], p_idx, procs.astype(np.int64))
+
+    core_flags = batch.bit_flags(core)
+    init_flags = in_fp  # DA's initial scheme is F ∪ {p}
+
+    member = np.empty((batch_size, horizon, n), dtype=bool)
+    is_read = ~is_write
+    for bit in range(n):
+        read_positions = np.where(is_read & (procs == bit), position, -1)
+        last_read = np.empty_like(read_positions)
+        last_read[:, 0] = -1
+        if horizon > 1:
+            last_read[:, 1:] = np.maximum.accumulate(
+                read_positions, axis=1
+            )[:, :-1]
+        joined_by_read = last_read > last_write
+        if core_flags[bit]:
+            # Core members are in every base and never leave.
+            member[:, :, bit] = True
+            continue
+        base = np.where(
+            has_write_before, x_before == bit, bool(init_flags[bit])
+        )
+        member[:, :, bit] = base | joined_by_read
+    return member, x_now, in_fp
+
+
+def da_request_costs(
+    batch: CompiledBatch,
+    initial_scheme: Iterable[ProcessorId],
+    model: CostModel,
+    primary: Optional[ProcessorId] = None,
+    threshold: Optional[int] = None,
+) -> np.ndarray:
+    """Per-request DA costs (save-on-read / invalidate-on-write).
+
+    With ``t = |F ∪ {p}|`` and ``Y`` the scheme before the request:
+
+    ======================  =============================================
+    read by a member        ``c_io``
+    read by a non-member    ``2*c_io + c_c + c_d``  (saving-read)
+    write by ``j``          ``t*c_io + |Y∖X|*c_c + (t-1)*c_d`` with
+                            ``X = F ∪ {p}`` or ``F ∪ {j}``
+    ======================  =============================================
+
+    ``|Y∖X|`` collapses to ``|Y| - (t-1) - [x ∈ Y]`` because ``F ⊆ Y``
+    always holds under DA (``x`` is the single non-core member of
+    ``X``), so the write term needs only the scheme *size* and one
+    membership bit — both read off the membership tensor.
+    """
+    scheme = processor_set(initial_scheme)
+    t = _check_scheme(batch, scheme, threshold)
+    del t  # DA's execution sets have size len(scheme) regardless of t
+    if primary is None:
+        primary = max(scheme)
+    if primary not in scheme:
+        raise ConfigurationError(
+            f"primary processor {primary} is not in the initial "
+            f"scheme {sorted(scheme)}"
+        )
+    if len(scheme) < 2:
+        raise ConfigurationError(
+            "F would be empty; the initial scheme must have at least "
+            "two processors (t >= 2)"
+        )
+    size = len(scheme)  # |F ∪ {p}| — every DA execution set has this size
+    c_io, c_c, c_d = model.c_io, model.c_c, model.c_d
+
+    read_member = 1 * c_io + 0 * c_c + 0 * c_d
+    saving_read = 2 * c_io + 1 * c_c + 1 * c_d
+
+    member, x_now, _ = _da_membership(batch, scheme, primary)
+    member_self = np.take_along_axis(
+        member, batch.procs.astype(np.int64)[:, :, None], axis=2
+    )[:, :, 0]
+    scheme_size = member.sum(axis=2, dtype=np.int64)
+    x_in_scheme = np.take_along_axis(member, x_now[:, :, None], axis=2)[
+        :, :, 0
+    ]
+    stale = scheme_size - (size - 1) - x_in_scheme
+
+    # Exactly CostBreakdown.priced's operation order:
+    #   io*c_io + control*c_c + data*c_d, left to right.
+    write_costs = (size * c_io + stale.astype(np.float64) * c_c) + (
+        (size - 1) * c_d
+    )
+    read_costs = np.where(member_self, read_member, saving_read)
+    costs = np.where(batch.is_write, write_costs, read_costs)
+    return np.where(batch.valid(), costs, 0.0)
+
+
+def da_final_schemes(
+    batch: CompiledBatch,
+    initial_scheme: Iterable[ProcessorId],
+    primary: Optional[ProcessorId] = None,
+) -> List[ProcessorSet]:
+    """The allocation scheme after each trace's last request.
+
+    Mirrors :attr:`OnlineDOM.current_scheme` after
+    :meth:`~repro.core.base.OnlineDOM.run`; used by the parity suite.
+    """
+    scheme = processor_set(initial_scheme)
+    if primary is None:
+        primary = max(scheme)
+    member, _, _ = _da_membership(batch, scheme, primary)
+    procs, is_write = batch.procs, batch.is_write
+    schemes: List[ProcessorSet] = []
+    for row in range(batch.batch_size):
+        length = int(batch.lengths[row])
+        if length == 0:
+            schemes.append(scheme)
+            continue
+        last = length - 1
+        before = member[row, last].copy()
+        if is_write[row, last]:
+            # The write resets the scheme to its execution set.
+            writer = int(procs[row, last])
+            core_flags = batch.bit_flags(scheme - {primary})
+            after = core_flags.copy()
+            if bool(batch.bit_flags(scheme)[writer]):
+                after[batch.bit_index(primary)] = True
+            else:
+                after[writer] = True
+            before = after
+        else:
+            before[int(procs[row, last])] = True  # reads always join
+        schemes.append(
+            frozenset(
+                batch.universe[bit]
+                for bit in range(len(batch.universe))
+                if before[bit]
+            )
+        )
+    return schemes
+
+
+def schedule_totals(
+    costs: np.ndarray, lengths: np.ndarray
+) -> List[float]:
+    """Sum per-request costs into per-trace totals, bit-identically to
+    the stepped path.
+
+    :meth:`CostModel.schedule_cost` folds with python's builtin
+    ``sum`` — a left-to-right reduction seeded with int 0.  numpy's
+    pairwise ``sum`` associates differently, so we materialize each
+    row and fold it the same way; batches are small enough that this
+    costs microseconds.
+    """
+    return [
+        sum(costs[row, : int(lengths[row])].tolist())
+        for row in range(costs.shape[0])
+    ]

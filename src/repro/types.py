@@ -5,11 +5,21 @@ processors, each holding a *local database* on stable storage.  We
 identify processors by small non-negative integers throughout, matching
 the paper's notation (``r1`` is a read issued by processor 1, ``w2`` a
 write issued by processor 2, and so on).
+
+Besides the set-based representation, the vectorized kernel
+(:mod:`repro.kernel`) and the offline DP (:mod:`repro.core.
+offline_optimal`) represent processor sets as **int bitmasks** over a
+*universe*: a sorted tuple of the processor ids that can ever matter
+for an instance.  Bit ``i`` of a mask stands for ``universe[i]`` (the
+``i``-th smallest id), so masks are comparable across modules as long
+as they share the universe.  :func:`processor_universe`,
+:func:`mask_of` and :func:`set_of_mask` are the canonical round-trip
+helpers; processor ids need not be contiguous.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import FrozenSet, Iterable, Sequence, Tuple
 
 #: Identifier of a processor in the distributed system.
 ProcessorId = int
@@ -17,6 +27,10 @@ ProcessorId = int
 #: An immutable set of processors.  Used for execution sets and
 #: allocation schemes (the paper's ``X`` and ``Y``).
 ProcessorSet = FrozenSet[ProcessorId]
+
+#: The bit order shared by every mask of one instance: bit ``i`` of a
+#: mask stands for ``universe[i]``.
+ProcessorUniverse = Tuple[ProcessorId, ...]
 
 
 def processor_set(processors) -> ProcessorSet:
@@ -26,3 +40,69 @@ def processor_set(processors) -> ProcessorSet:
     frozenset({1, 2})
     """
     return frozenset(int(p) for p in processors)
+
+
+def processor_universe(*collections: Iterable[ProcessorId]) -> ProcessorUniverse:
+    """The sorted, deduplicated union of processor-id collections.
+
+    This is the canonical bit order for masks: the ``i``-th smallest
+    id maps to bit ``i``.
+
+    >>> processor_universe([2, 9], [1, 2])
+    (1, 2, 9)
+    """
+    members: set[ProcessorId] = set()
+    for collection in collections:
+        members.update(int(p) for p in collection)
+    return tuple(sorted(members))
+
+
+def mask_of(
+    processors: Iterable[ProcessorId], universe: Sequence[ProcessorId]
+) -> int:
+    """Pack a set of processor ids into an int bitmask over ``universe``.
+
+    Raises :class:`ValueError` for a processor outside the universe —
+    a mask cannot represent it.
+
+    >>> mask_of([9, 1], (1, 2, 9))
+    5
+    >>> mask_of([], (1, 2, 9))
+    0
+    """
+    index_of = {int(p): i for i, p in enumerate(universe)}
+    mask = 0
+    for processor in processors:
+        try:
+            mask |= 1 << index_of[int(processor)]
+        except KeyError:
+            raise ValueError(
+                f"processor {processor} is not in the universe "
+                f"{tuple(universe)}"
+            ) from None
+    return mask
+
+
+def set_of_mask(mask: int, universe: Sequence[ProcessorId]) -> ProcessorSet:
+    """Unpack an int bitmask over ``universe`` into a :data:`ProcessorSet`.
+
+    Raises :class:`ValueError` for a negative mask or one with bits
+    beyond the universe — those bits name no processor.
+
+    >>> sorted(set_of_mask(5, (1, 2, 9)))
+    [1, 9]
+    >>> set_of_mask(0, (1, 2, 9))
+    frozenset()
+    """
+    if mask < 0:
+        raise ValueError(f"masks are non-negative, got {mask}")
+    if mask >> len(universe):
+        raise ValueError(
+            f"mask {mask:#x} has bits beyond the {len(universe)}-processor "
+            "universe"
+        )
+    return frozenset(
+        int(universe[position])
+        for position in range(len(universe))
+        if mask >> position & 1
+    )

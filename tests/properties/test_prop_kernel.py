@@ -1,0 +1,143 @@
+"""Property tests: the kernel is *exactly* the stepped path, faster.
+
+The vectorized kernel's contract is bit-identical equality — not
+approximate agreement — with stepping :class:`StaticAllocation` /
+:class:`DynamicAllocation` through :class:`OnlineDOM` and pricing the
+resulting allocation schedule.  Every assertion below uses ``==`` on
+floats on purpose: any associativity slip, any formula divergence in
+a single request, fails loudly.
+
+Covered: both cost models (SC and MC), thresholds t in {2, 3, 4},
+non-contiguous initial schemes, explicit primaries, batches of mixed
+lengths (batch evaluation == one-trace evaluation), and DA's final
+allocation scheme.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernel
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.model.schedule import Schedule
+
+from tests.properties.strategies import (
+    mobile_models,
+    schedules,
+    stationary_models,
+)
+
+MODELS = st.one_of(stationary_models(), mobile_models())
+
+#: Initial schemes of size t in {2, 3, 4} over ids 1..6 — the same id
+#: range the schedule strategy issues from, so members both do and do
+#: not appear in traces.  Non-contiguous subsets arise naturally.
+SCHEMES = st.integers(min_value=2, max_value=4).flatmap(
+    lambda t: st.sets(
+        st.integers(min_value=1, max_value=6), min_size=t, max_size=t
+    ).map(frozenset)
+)
+
+
+@st.composite
+def scheme_and_primary(draw):
+    scheme = draw(SCHEMES)
+    primary = draw(st.sampled_from(sorted(scheme)))
+    return scheme, primary
+
+
+def stepped_request_costs(algorithm, schedule, model):
+    allocation = algorithm.run(schedule)
+    return model.request_costs(allocation), model.schedule_cost(allocation)
+
+
+@settings(max_examples=150)
+@given(schedule=schedules(), scheme=SCHEMES, model=MODELS)
+def test_sa_costs_bit_identical(schedule, scheme, model):
+    batch = kernel.compile_schedule(schedule, scheme)
+    costs = kernel.sa_request_costs(batch, scheme, model)
+    per_request, total = stepped_request_costs(
+        StaticAllocation(scheme), schedule, model
+    )
+    assert costs[0].tolist() == per_request
+    assert kernel.schedule_totals(costs, batch.lengths) == [total]
+
+
+@settings(max_examples=150)
+@given(schedule=schedules(), pair=scheme_and_primary(), model=MODELS)
+def test_da_costs_bit_identical(schedule, pair, model):
+    scheme, primary = pair
+    batch = kernel.compile_schedule(schedule, scheme)
+    costs = kernel.da_request_costs(batch, scheme, model, primary=primary)
+    per_request, total = stepped_request_costs(
+        DynamicAllocation(scheme, primary=primary), schedule, model
+    )
+    assert costs[0].tolist() == per_request
+    assert kernel.schedule_totals(costs, batch.lengths) == [total]
+
+
+@settings(max_examples=100)
+@given(schedule=schedules(), pair=scheme_and_primary())
+def test_da_final_scheme_parity(schedule, pair):
+    scheme, primary = pair
+    batch = kernel.compile_schedule(schedule, scheme)
+    algorithm = DynamicAllocation(scheme, primary=primary)
+    algorithm.run(schedule)
+    assert kernel.da_final_schemes(batch, scheme, primary=primary) == [
+        algorithm.current_scheme
+    ]
+
+
+@settings(max_examples=60)
+@given(
+    batch_schedules=st.lists(schedules(), min_size=1, max_size=5),
+    pair=scheme_and_primary(),
+    model=MODELS,
+)
+def test_batch_equals_per_trace(batch_schedules, pair, model):
+    # One compiled batch of mixed-length traces gives exactly the
+    # per-trace answers — padding never leaks into costs.
+    scheme, primary = pair
+    for make in (
+        lambda: StaticAllocation(scheme),
+        lambda: DynamicAllocation(scheme, primary=primary),
+    ):
+        batched = kernel.batch_costs(make(), batch_schedules, model)
+        single = [
+            kernel.schedule_cost(make(), schedule, model)
+            for schedule in batch_schedules
+        ]
+        stepped = [
+            model.schedule_cost(make().run(schedule))
+            for schedule in batch_schedules
+        ]
+        assert batched == single == stepped
+
+
+@settings(max_examples=60)
+@given(schedule=schedules(), pair=scheme_and_primary(), model=MODELS)
+def test_dispatch_cost_of_is_stepped_cost(schedule, pair, model):
+    from repro.core.competitive import cost_of
+
+    scheme, primary = pair
+    for make in (
+        lambda: StaticAllocation(scheme),
+        lambda: DynamicAllocation(scheme, primary=primary),
+    ):
+        assert cost_of(make(), schedule, model) == cost_of(
+            make(), schedule, model, use_kernel=False
+        )
+
+
+@settings(max_examples=40)
+@given(model=MODELS, pair=scheme_and_primary())
+def test_empty_schedule_is_free(model, pair):
+    scheme, primary = pair
+    empty = Schedule()
+    for make in (
+        lambda: StaticAllocation(scheme),
+        lambda: DynamicAllocation(scheme, primary=primary),
+    ):
+        assert kernel.schedule_cost(make(), empty, model) == 0.0

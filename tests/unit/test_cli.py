@@ -272,3 +272,27 @@ class TestAvailability:
         assert "majority quorum" in out
         assert "best quorums" in out
         assert "r=2" in out  # read-heavy mix prefers small read quorums
+
+
+class TestBench:
+    def test_smoke_run_with_json_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code, out, _ = run_cli(
+            capsys, "bench", "--smoke", "--out", str(out_path)
+        )
+        assert code == 0
+        assert "SA" in out and "DA" in out and "DP" in out
+        report = json.loads(out_path.read_text())
+        assert report["config"]["smoke"] is True
+        assert set(report["algorithms"]) == {"SA", "DA"}
+        for entry in report["algorithms"].values():
+            assert entry["costs_match"]
+            assert entry["kernel_requests_per_second"] > 0
+        assert report["dp"]["seconds"] >= 0
+
+    def test_check_flag_passes_on_smoke(self, capsys):
+        code, out, _ = run_cli(capsys, "bench", "--smoke", "--check")
+        assert code == 0
+        assert "check PASSED" in out

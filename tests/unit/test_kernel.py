@@ -1,0 +1,182 @@
+"""Unit tests for the vectorized schedule kernel (repro.kernel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernel
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.exceptions import ConfigurationError
+from repro.kernel.compile import MAX_UNIVERSE, compile_batch, compile_schedule
+from repro.model.schedule import Schedule
+
+
+class TestCompile:
+    def test_universe_is_sorted_union_with_extras(self):
+        batch = compile_batch(
+            [Schedule.parse("r5 w2"), Schedule.parse("r9")],
+            extra_processors=[1, 2],
+        )
+        assert batch.universe == (1, 2, 5, 9)
+
+    def test_bit_indices_follow_sorted_rank(self):
+        batch = compile_schedule(Schedule.parse("r9 w2 r5"))
+        assert batch.universe == (2, 5, 9)
+        assert batch.procs[0].tolist() == [2, 0, 1]
+        assert batch.is_write[0].tolist() == [False, True, False]
+
+    def test_padding_is_masked(self):
+        batch = compile_batch(
+            [Schedule.parse("r1 r1 r1"), Schedule.parse("w2")]
+        )
+        assert batch.horizon == 3
+        assert batch.lengths.tolist() == [3, 1]
+        assert batch.valid().tolist() == [
+            [True, True, True],
+            [True, False, False],
+        ]
+        assert batch.request_count == 4
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_batch([])
+
+    def test_empty_schedule_compiles(self):
+        batch = compile_schedule(Schedule(), extra_processors=[1, 2])
+        assert batch.horizon == 0
+        assert batch.request_count == 0
+
+    def test_arrays_are_read_only(self):
+        batch = compile_schedule(Schedule.parse("r1 w2"))
+        with pytest.raises(ValueError):
+            batch.procs[0, 0] = 1
+
+    def test_foreign_processor_lookup_raises(self):
+        batch = compile_schedule(Schedule.parse("r1 w2"))
+        with pytest.raises(ConfigurationError):
+            batch.bit_index(7)
+
+    def test_universe_guard(self):
+        wide = Schedule(
+            tuple(
+                Schedule.parse(f"r{p}")[0]
+                for p in range(1, MAX_UNIVERSE + 2)
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            compile_schedule(wide)
+
+
+class TestPopcount:
+    def test_matches_int_bit_count(self):
+        values = np.arange(0, 5000, dtype=np.int64)
+        expected = [int(v).bit_count() for v in values]
+        assert kernel.popcount(values).tolist() == expected
+
+    def test_fallback_table_agrees(self, monkeypatch):
+        # Force the byte-table path even on numpy >= 2.0.
+        from repro.kernel import compile as compile_module
+
+        monkeypatch.delattr(np, "bitwise_count", raising=False)
+        values = np.array([[0, 1], [0b1011, (1 << 40) | 7]], dtype=np.int64)
+        got = compile_module.popcount(values)
+        assert got.tolist() == [[0, 1], [3, 4]]
+
+
+class TestDispatch:
+    def test_supports_exact_types_only(self, small_scheme):
+        assert kernel.supports(StaticAllocation(small_scheme))
+        assert kernel.supports(DynamicAllocation(small_scheme))
+
+        class TweakedSA(StaticAllocation):
+            pass
+
+        # Subclasses may override decide/observe: stepped path only.
+        assert not kernel.supports(TweakedSA(small_scheme))
+
+    def test_request_costs_rejects_unsupported(self, sc_model, small_scheme):
+        class TweakedSA(StaticAllocation):
+            pass
+
+        batch = compile_schedule(Schedule.parse("r1"), small_scheme)
+        with pytest.raises(ConfigurationError):
+            kernel.request_costs(TweakedSA(small_scheme), batch, sc_model)
+
+    def test_schedule_cost_matches_stepped(
+        self, sc_model, paper_schedule, small_scheme
+    ):
+        for make in (
+            lambda: StaticAllocation(small_scheme),
+            lambda: DynamicAllocation(small_scheme),
+        ):
+            stepped = sc_model.schedule_cost(make().run(paper_schedule))
+            assert (
+                kernel.schedule_cost(make(), paper_schedule, sc_model)
+                == stepped
+            )
+
+    def test_batch_costs_accepts_precompiled_batch(
+        self, sc_model, small_scheme
+    ):
+        schedules = [Schedule.parse("r5 w1 r5"), Schedule.parse("w2")]
+        algorithm = StaticAllocation(small_scheme)
+        batch = compile_batch(schedules, small_scheme)
+        direct = kernel.batch_costs(algorithm, schedules, sc_model)
+        shared = kernel.batch_costs(
+            algorithm, schedules, sc_model, batch=batch
+        )
+        assert direct == shared
+
+
+class TestEvaluate:
+    def test_sa_paper_example(self, sc_model, paper_schedule, small_scheme):
+        # w2 r4 w3 r1 r2 under SA over {1, 2}: per-request parity.
+        batch = compile_schedule(paper_schedule, small_scheme)
+        costs = kernel.sa_request_costs(batch, small_scheme, sc_model)
+        allocation = StaticAllocation(small_scheme).run(paper_schedule)
+        stepped = sc_model.request_costs(allocation)
+        assert costs[0].tolist() == stepped
+
+    def test_da_paper_example(self, sc_model, paper_schedule, small_scheme):
+        batch = compile_schedule(paper_schedule, small_scheme)
+        costs = kernel.da_request_costs(batch, small_scheme, sc_model)
+        algorithm = DynamicAllocation(small_scheme)
+        allocation = algorithm.run(paper_schedule)
+        stepped = sc_model.request_costs(allocation)
+        assert costs[0].tolist() == stepped
+
+    def test_da_final_scheme_matches_stepped(self, paper_schedule):
+        scheme = frozenset({2, 5, 7, 9})
+        batch = compile_schedule(paper_schedule, scheme)
+        finals = kernel.da_final_schemes(batch, scheme, primary=9)
+        algorithm = DynamicAllocation(scheme, primary=9)
+        algorithm.run(paper_schedule)
+        assert finals == [algorithm.current_scheme]
+
+    def test_da_final_scheme_of_empty_trace_is_initial(self, small_scheme):
+        batch = compile_schedule(Schedule(), small_scheme)
+        assert kernel.da_final_schemes(batch, small_scheme) == [small_scheme]
+
+    def test_padding_contributes_no_cost(self, sc_model, small_scheme):
+        batch = compile_batch(
+            [Schedule.parse("w1 w1 w1"), Schedule.parse("r1")], small_scheme
+        )
+        costs = kernel.sa_request_costs(batch, small_scheme, sc_model)
+        assert costs[1, 1:].tolist() == [0.0, 0.0]
+
+    def test_scheme_validation_mirrors_stepped(self, sc_model):
+        batch = compile_schedule(Schedule.parse("r1"), [1, 2])
+        with pytest.raises(ConfigurationError):
+            kernel.sa_request_costs(batch, frozenset({1}), sc_model)
+        with pytest.raises(ConfigurationError):
+            kernel.da_request_costs(
+                batch, frozenset({1, 2}), sc_model, primary=5
+            )
+
+    def test_schedule_totals_fold_like_builtin_sum(self):
+        costs = np.array([[0.1, 0.2, 0.3], [1.0, 0.0, 0.0]])
+        lengths = np.array([3, 1])
+        totals = kernel.schedule_totals(costs, lengths)
+        assert totals == [sum([0.1, 0.2, 0.3]), 1.0]

@@ -132,3 +132,67 @@ class TestDeterminism:
         first = optimal_allocation(schedule, {1, 2}, sc_model)
         second = optimal_allocation(schedule, {1, 2}, sc_model)
         assert first.steps == second.steps
+
+    def test_cost_tie_breaks_to_smallest_mask(self, sc_model):
+        # "w3" from {1, 2}: targets {1, 3} and {2, 3} tie exactly
+        # (2 I/Os + 1 data + 1 invalidation either way).  The witness
+        # must deterministically pick the numerically smallest bitmask
+        # — {1, 3} — rather than whatever a dict iterates first.
+        result = OfflineOptimal(sc_model).solve(Schedule.parse("w3"), {1, 2})
+        assert result.cost == pytest.approx(
+            2.0 + sc_model.c_d + sc_model.c_c
+        )
+        assert result.allocation.steps[0].execution_set == frozenset({1, 3})
+
+    def test_all_ties_still_deterministic(self):
+        # c_c = c_d = 0 in the mobile model prices *everything* at
+        # zero: every legal allocation schedule ties.  The witness must
+        # still be a pure function of the input (smallest-mask rule at
+        # every argmin), not an iteration-order accident.
+        model = mobile(0.0, 0.0)
+        schedule = Schedule.parse("w3 r1 w2 r4 r4 w1")
+        witnesses = [
+            optimal_allocation(schedule, {1, 2}, model).steps
+            for _ in range(3)
+        ]
+        assert witnesses[0] == witnesses[1] == witnesses[2]
+        # Writes resolve to the smallest valid bitmask target: {1, 2}.
+        first_write = witnesses[0][0]
+        assert first_write.execution_set == frozenset({1, 2})
+
+
+class TestPrune:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "r1 r1 r2 w2 r2",
+            "r5 w1 r5 w1 r5",
+            "w3 w4 r3 r4 w3",
+            "r4 r5 r6 w1 r4 r5 r6",
+        ],
+    )
+    def test_prune_changes_nothing(self, sc_model, text):
+        schedule = Schedule.parse(text)
+        pruned = OfflineOptimal(sc_model, prune=True).solve(schedule, {1, 2})
+        exhaustive = OfflineOptimal(sc_model, prune=False).solve(
+            schedule, {1, 2}
+        )
+        assert pruned.cost == pytest.approx(exhaustive.cost, abs=1e-12)
+        assert pruned.allocation.steps == exhaustive.allocation.steps
+
+
+class TestCapacity:
+    def test_default_limit_is_fourteen(self, sc_model):
+        assert OfflineOptimal(sc_model).max_processors == 14
+
+    def test_fourteen_processor_universe_solves(self, sc_model):
+        # One read per processor then a write: a full 14-bit DP pass.
+        text = " ".join(f"r{p}" for p in range(1, 15)) + " w1 r14"
+        schedule = Schedule.parse(text)
+        solver = OfflineOptimal(sc_model)
+        result = solver.solve(schedule, {1, 2})
+        result.allocation.check_legal()
+        result.allocation.check_t_available(2)
+        assert sc_model.schedule_cost(result.allocation) == pytest.approx(
+            result.cost
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for the bitmask helpers in repro.types.
+
+The kernel and the offline DP share one bit convention — bit ``i`` of
+a mask stands for ``universe[i]``, the ``i``-th smallest processor id
+— so the round-trip helpers are load-bearing for cross-module mask
+comparability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import (
+    mask_of,
+    processor_universe,
+    set_of_mask,
+)
+
+
+class TestProcessorUniverse:
+    def test_sorted_dedup_union(self):
+        assert processor_universe([2, 9], [1, 2]) == (1, 2, 9)
+
+    def test_empty(self):
+        assert processor_universe() == ()
+        assert processor_universe([], []) == ()
+
+    def test_single_collection(self):
+        assert processor_universe({5, 3, 3}) == (3, 5)
+
+
+class TestMaskRoundTrip:
+    def test_round_trip_contiguous(self):
+        universe = (1, 2, 3, 4)
+        for mask in range(1 << len(universe)):
+            assert mask_of(set_of_mask(mask, universe), universe) == mask
+
+    def test_round_trip_non_contiguous(self):
+        # Processor ids need not be dense: {2, 5, 7, 9} maps to bits
+        # 0..3 in sorted order.
+        universe = (2, 5, 7, 9)
+        assert mask_of([2], universe) == 0b0001
+        assert mask_of([9], universe) == 0b1000
+        assert mask_of([5, 7], universe) == 0b0110
+        for mask in range(1 << len(universe)):
+            members = set_of_mask(mask, universe)
+            assert mask_of(members, universe) == mask
+
+    def test_empty_set(self):
+        universe = (1, 2, 9)
+        assert mask_of([], universe) == 0
+        assert set_of_mask(0, universe) == frozenset()
+
+    def test_empty_universe(self):
+        assert mask_of([], ()) == 0
+        assert set_of_mask(0, ()) == frozenset()
+
+    def test_bit_order_is_sorted_rank(self):
+        # Bit i == i-th *smallest* id, regardless of input order.
+        universe = processor_universe([9, 2, 7, 5])
+        assert universe == (2, 5, 7, 9)
+        assert mask_of([universe[0]], universe) == 1
+        assert mask_of(reversed(universe), universe) == 0b1111
+
+
+class TestMaskErrors:
+    def test_foreign_processor_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of([4], (1, 2, 9))
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            set_of_mask(-1, (1, 2))
+
+    def test_overflow_bits_rejected(self):
+        with pytest.raises(ValueError):
+            set_of_mask(1 << 2, (1, 2))
+        with pytest.raises(ValueError):
+            set_of_mask(1, ())
