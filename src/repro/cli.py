@@ -29,6 +29,11 @@ Subcommands
                      (``--smoke`` for the CI-sized run, ``--check`` to
                      exit non-zero if the kernel is slower or costs
                      diverge, ``--out`` for a JSON report).
+``repro cluster``    live asyncio replica cluster: ``serve`` one node,
+                     ``run`` a schedule against N nodes over real
+                     sockets (``--check-parity`` verifies live counts
+                     against the stepped model and the simulator), or
+                     ``bench`` it with open-loop Poisson load.
 
 Every command writes plain text to stdout; ``repro workload --out``
 writes a trace file loadable with ``repro compare --trace``.
@@ -69,6 +74,7 @@ from repro.analysis.regions import (
 )
 from repro.analysis.report import format_mapping, format_table
 from repro.analysis.sweep import sweep
+from repro.cluster.commands import add_cluster_parser
 from repro.core.competitive import CompetitivenessHarness
 from repro.core.factory import ALGORITHM_NAMES, algorithm_factory, make_algorithm
 from repro.distsim.runner import run_protocol
@@ -237,9 +243,15 @@ def cmd_regions(args) -> int:
 
 def cmd_simulate(args) -> int:
     model = _model(args)
-    schedule = (
-        trace.load(args.trace) if args.trace else Schedule.parse(args.schedule)
-    )
+    if args.trace:
+        schedule = trace.load(args.trace)
+    elif args.seed is not None:
+        # A seeded uniform workload: reproducible without a trace file.
+        schedule = UniformWorkload(
+            range(1, args.processors + 1), args.length, args.write_fraction
+        ).generate(args.seed)
+    else:
+        schedule = Schedule.parse(args.schedule)
     stats = run_protocol(args.protocol, schedule, args.scheme)
     print(
         format_mapping(
@@ -549,6 +561,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--protocol", choices=["SA", "DA", "sa", "da"], default="DA"
     )
+    simulate.add_argument(
+        "--seed", type=int, default=None,
+        help="generate a seeded uniform workload instead of --schedule",
+    )
+    simulate.add_argument(
+        "--processors", type=_positive_int, default=6,
+        help="processor count for the seeded workload",
+    )
+    simulate.add_argument(
+        "--length", type=_positive_int, default=100,
+        help="request count for the seeded workload",
+    )
+    simulate.add_argument(
+        "--write-fraction", type=float, default=0.2,
+        help="write fraction for the seeded workload",
+    )
     simulate.set_defaults(handler=cmd_simulate)
 
     workload = subparsers.add_parser("workload", help="generate a trace")
@@ -666,6 +694,8 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--per-message-fee", type=float, default=0.05)
     calibrate.add_argument("--per-kilobyte-fee", type=float, default=0.01)
     calibrate.set_defaults(handler=cmd_calibrate)
+
+    add_cluster_parser(subparsers, _scheme)
 
     return parser
 

@@ -1,0 +1,66 @@
+"""repro.cluster — a live replica cluster serving SA/DA over sockets.
+
+The third realization of the paper's algorithms, after the stepped
+analytic model (:mod:`repro.core`) and the discrete-event simulator
+(:mod:`repro.distsim`): real asyncio nodes, real length-prefixed JSON
+frames on real TCP or Unix-domain sockets, per-node metrics that map
+1:1 onto the paper's ``c_c``/``c_d``/I-O accounting.  The headline
+invariant — asserted end-to-end in ``tests/integration`` — is that a
+replayed trace produces *bit-identical* message and I/O totals across
+all three realizations.
+
+See ``docs/cluster.md`` for the architecture and wire format.
+"""
+
+from repro.cluster.launcher import (
+    ClusterHandle,
+    ClusterSpec,
+    LocalCluster,
+    SubprocessCluster,
+    start_cluster,
+    start_local_cluster,
+    start_subprocess_cluster,
+)
+from repro.cluster.loadgen import (
+    ClusterClient,
+    LoadResult,
+    RequestOutcome,
+    poisson_load,
+    replay_schedule,
+)
+from repro.cluster.metrics import NodeMetrics, aggregate, latency_histogram
+from repro.cluster.node import NodeConfig, NodeServer
+from repro.cluster.protocol import (
+    LiveDynamicAllocation,
+    LiveProtocol,
+    LiveStaticAllocation,
+    make_live_protocol,
+)
+from repro.cluster.transport import Address, FaultPlan, PeerTransport
+
+__all__ = [
+    "Address",
+    "ClusterClient",
+    "ClusterHandle",
+    "ClusterSpec",
+    "FaultPlan",
+    "LiveDynamicAllocation",
+    "LiveProtocol",
+    "LiveStaticAllocation",
+    "LoadResult",
+    "LocalCluster",
+    "NodeConfig",
+    "NodeMetrics",
+    "NodeServer",
+    "PeerTransport",
+    "RequestOutcome",
+    "SubprocessCluster",
+    "aggregate",
+    "latency_histogram",
+    "make_live_protocol",
+    "poisson_load",
+    "replay_schedule",
+    "start_cluster",
+    "start_local_cluster",
+    "start_subprocess_cluster",
+]

@@ -1,0 +1,302 @@
+"""Client load generation against a live cluster.
+
+Two modes, matching the two ways the paper's schedules are read:
+
+* :func:`replay_schedule` — **closed loop**: a
+  :class:`~repro.model.schedule.Schedule` (parsed, generated, or loaded
+  from a trace file) is replayed request by request, each routed to the
+  node of its issuing processor and run to quiescence before the next
+  starts.  This realizes the paper's totally-ordered schedule exactly,
+  which is what makes live message counts comparable bit-for-bit with
+  the stepped accounting.
+* :func:`poisson_load` — **open loop**: requests arrive as a Poisson
+  process (seeded, reproducible) and may overlap in flight; useful for
+  exercising concurrency and latency behaviour, *not* for count parity
+  (the paper's accounting is defined over serialized schedules).
+
+The client assigns globally unique request ids (1, 2, ...) and, for
+writes, version numbers from a counter starting at 1 — continuing the
+uncharged seed version 0 exactly like the simulator's version counter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.rpc import (
+    read_frame,
+    version_from_wire,
+    version_to_wire,
+    write_frame,
+)
+from repro.cluster.transport import Address, open_channel
+from repro.exceptions import ClusterError
+from repro.model.schedule import Schedule
+from repro.storage.versions import ObjectVersion
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one client request."""
+
+    rid: int
+    node: int
+    op: str  # "read" | "write"
+    ok: bool
+    version: Optional[ObjectVersion] = None
+    error: Optional[str] = None
+    #: Client-observed wall-clock latency, in seconds.
+    latency: float = 0.0
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one load run."""
+
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [outcome.latency for outcome in self.outcomes if outcome.ok]
+
+    def raise_on_errors(self) -> None:
+        failed = [outcome for outcome in self.outcomes if not outcome.ok]
+        if failed:
+            first = failed[0]
+            raise ClusterError(
+                f"{len(failed)} of {len(self.outcomes)} requests failed; "
+                f"first: request {first.rid} at node {first.node}: "
+                f"{first.error}"
+            )
+
+
+class ClusterClient:
+    """Multiplexed client connections to every node of a cluster.
+
+    One connection per node, pumped by a background task that resolves
+    ``result`` frames to their waiting callers by request id — so the
+    open-loop generator can keep many requests in flight per node."""
+
+    def __init__(
+        self, addresses: Mapping[int, Address], timeout: float = 30.0
+    ) -> None:
+        self.addresses = dict(addresses)
+        self.timeout = timeout
+        self._conns: Dict[
+            int,
+            Tuple[asyncio.StreamWriter, asyncio.Lock, asyncio.Task],
+        ] = {}
+        self._waiting: Dict[int, asyncio.Future] = {}
+
+    async def _conn(
+        self, node_id: int
+    ) -> Tuple[asyncio.StreamWriter, asyncio.Lock]:
+        if node_id not in self._conns:
+            if node_id not in self.addresses:
+                raise ClusterError(f"no address for node {node_id}")
+            reader, writer = await open_channel(self.addresses[node_id])
+            pump = asyncio.ensure_future(self._pump(node_id, reader))
+            self._conns[node_id] = (writer, asyncio.Lock(), pump)
+        writer, lock, _ = self._conns[node_id]
+        return writer, lock
+
+    async def _pump(self, node_id: int, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame.get("type") != "result":
+                    continue
+                future = self._waiting.pop(int(frame.get("rid", 0)), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (ClusterError, ConnectionError, OSError) as error:
+            self._fail_waiting(f"connection to node {node_id} died: {error}")
+        else:
+            self._fail_waiting(f"node {node_id} closed the connection")
+
+    def _fail_waiting(self, reason: str) -> None:
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(ClusterError(reason))
+        self._waiting.clear()
+
+    async def execute(
+        self,
+        node_id: int,
+        op: str,
+        rid: int,
+        version: Optional[ObjectVersion] = None,
+    ) -> RequestOutcome:
+        """Run one request on a node; never raises for protocol-level
+        failures — inspect the outcome's ``ok``/``error``."""
+        frame = {"type": "exec", "rid": rid, "op": op}
+        if version is not None:
+            frame["version"] = version_to_wire(version)
+        started = time.monotonic()
+        try:
+            writer, lock = await self._conn(node_id)
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiting[rid] = future
+            async with lock:
+                await write_frame(writer, frame)
+            reply = await asyncio.wait_for(future, self.timeout)
+        except (
+            ClusterError,
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+        ) as error:
+            self._waiting.pop(rid, None)
+            message = (
+                f"client timed out after {self.timeout}s"
+                if isinstance(error, asyncio.TimeoutError)
+                else str(error)
+            )
+            return RequestOutcome(
+                rid=rid,
+                node=node_id,
+                op=op,
+                ok=False,
+                error=message,
+                latency=time.monotonic() - started,
+            )
+        return RequestOutcome(
+            rid=rid,
+            node=node_id,
+            op=op,
+            ok=bool(reply.get("ok")),
+            version=version_from_wire(reply.get("version")),
+            error=reply.get("error"),
+            latency=time.monotonic() - started,
+        )
+
+    async def close(self) -> None:
+        conns = list(self._conns.values())
+        self._conns.clear()
+        for writer, _, pump in conns:
+            pump.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+        for _, _, pump in conns:
+            try:
+                await pump
+            except (asyncio.CancelledError, ClusterError):
+                pass
+
+
+async def replay_schedule(
+    client: ClusterClient,
+    schedule: Schedule,
+    check_freshness: bool = True,
+    fail_fast: bool = False,
+) -> LoadResult:
+    """Replay a schedule closed-loop: one request at a time, in order.
+
+    With ``check_freshness`` (only sound without faults), every
+    successful read must return the latest written version — a
+    consistency oracle on top of the count parity."""
+    result = LoadResult()
+    latest = 0  # the seed version's number
+    for index, request in enumerate(schedule):
+        rid = index + 1
+        if request.is_write:
+            version = ObjectVersion(latest + 1, request.processor)
+            outcome = await client.execute(
+                request.processor, "write", rid, version
+            )
+            if outcome.ok:
+                latest += 1
+        else:
+            outcome = await client.execute(request.processor, "read", rid)
+            if outcome.ok and check_freshness:
+                got = outcome.version.number if outcome.version else None
+                if got != latest:
+                    raise ClusterError(
+                        f"stale read: request {rid} at processor "
+                        f"{request.processor} returned version {got}, "
+                        f"expected {latest}"
+                    )
+        result.outcomes.append(outcome)
+        if fail_fast and not outcome.ok:
+            break
+    return result
+
+
+async def poisson_load(
+    client: ClusterClient,
+    processors: Sequence[int],
+    count: int,
+    rate: float,
+    write_fraction: float = 0.2,
+    seed: int = 0,
+) -> LoadResult:
+    """Open-loop Poisson arrivals: fire-and-gather, overlap allowed.
+
+    ``rate`` is the arrival rate in requests/second.  Versions are
+    numbered by issue order; with overlapping writes the cluster's
+    serialization may differ, so no freshness oracle applies here."""
+    if count < 1:
+        raise ClusterError("poisson_load needs a positive request count")
+    if rate <= 0:
+        raise ClusterError("the arrival rate must be positive")
+    if not processors:
+        raise ClusterError("poisson_load needs at least one processor")
+    rng = random.Random(seed)
+    tasks: List[asyncio.Task] = []
+    version = 0
+    for index in range(count):
+        rid = index + 1
+        processor = rng.choice(list(processors))
+        if rng.random() < write_fraction:
+            version += 1
+            tasks.append(
+                asyncio.ensure_future(
+                    client.execute(
+                        processor,
+                        "write",
+                        rid,
+                        ObjectVersion(version, processor),
+                    )
+                )
+            )
+        else:
+            tasks.append(
+                asyncio.ensure_future(client.execute(processor, "read", rid))
+            )
+        await asyncio.sleep(rng.expovariate(rate))
+    outcomes = await asyncio.gather(*tasks)
+    return LoadResult(outcomes=list(outcomes))
+
+
+def route_check(schedule: Schedule, processors: Sequence[int]) -> None:
+    """Fail early if the schedule names a processor with no node."""
+    available = set(processors)
+    missing = sorted(
+        {
+            request.processor
+            for request in schedule
+            if request.processor not in available
+        }
+    )
+    if missing:
+        raise ClusterError(
+            f"schedule touches processors {missing} but the cluster only "
+            f"runs {sorted(available)}"
+        )

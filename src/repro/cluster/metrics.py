@@ -1,0 +1,132 @@
+"""Per-node metrics of the live cluster.
+
+Each node counts exactly what the simulated network counts: messages by
+paper class at the *sender* (the transmission happened, whatever the
+fate of the delivery — matching
+:meth:`repro.distsim.network.Network.charge_and_schedule`), I/O
+operations at the node that performed them, and drops wherever the loss
+was decided (sender-side transport faults, receiver-side crashes).
+
+Aggregating the per-node counters therefore reproduces the global
+:class:`~repro.distsim.statistics.SimulationStats` of a simulated run —
+which is the bridge the end-to-end parity tests walk: live totals ==
+simulated totals == stepped model accounting == kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.distsim.messages import Message, MessageClass
+from repro.distsim.statistics import SimulationStats
+
+
+@dataclass
+class NodeMetrics:
+    """Counters one node accumulates while serving."""
+
+    node_id: int
+    control_sent: int = 0
+    data_sent: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    dropped_messages: int = 0
+    requests_completed: int = 0
+    request_errors: int = 0
+    #: Wall-clock service latency of each request this node originated,
+    #: in seconds, in completion order.
+    latencies: List[float] = field(default_factory=list)
+
+    def charge_message(self, message: Message) -> None:
+        """Count an outgoing protocol message by its paper class."""
+        if message.message_class is MessageClass.DATA:
+            self.data_sent += 1
+        else:
+            self.control_sent += 1
+
+    # -- serialization (admin `metrics` frames) ---------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "control_sent": self.control_sent,
+            "data_sent": self.data_sent,
+            "io_reads": self.io_reads,
+            "io_writes": self.io_writes,
+            "dropped_messages": self.dropped_messages,
+            "requests_completed": self.requests_completed,
+            "request_errors": self.request_errors,
+            "latencies": self.latencies,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "NodeMetrics":
+        return cls(
+            node_id=int(wire["node_id"]),
+            control_sent=int(wire["control_sent"]),
+            data_sent=int(wire["data_sent"]),
+            io_reads=int(wire["io_reads"]),
+            io_writes=int(wire["io_writes"]),
+            dropped_messages=int(wire["dropped_messages"]),
+            requests_completed=int(wire["requests_completed"]),
+            request_errors=int(wire["request_errors"]),
+            latencies=[float(value) for value in wire["latencies"]],
+        )
+
+
+def aggregate(metrics: Iterable[NodeMetrics]) -> SimulationStats:
+    """Sum per-node counters into the simulator's statistics type.
+
+    Latencies concatenate in node-id order; each request originates at
+    exactly one node, so request counts add without double counting.
+    """
+    stats = SimulationStats()
+    for node in sorted(metrics, key=lambda m: m.node_id):
+        stats.control_messages += node.control_sent
+        stats.data_messages += node.data_sent
+        stats.io_reads += node.io_reads
+        stats.io_writes += node.io_writes
+        stats.dropped_messages += node.dropped_messages
+        stats.requests_completed += node.requests_completed
+        stats.latencies.extend(node.latencies)
+    return stats
+
+
+def latency_histogram(
+    latencies: Iterable[float], buckets: int = 10
+) -> List[Tuple[float, int]]:
+    """Equal-width histogram as ``(bucket upper bound, count)`` pairs.
+
+    A constant series collapses into a single bucket and an empty one
+    into no buckets at all — both shapes the ASCII plotter must accept
+    (see :func:`repro.viz.ascii_plot.render_series`).
+    """
+    values = sorted(latencies)
+    if not values:
+        return []
+    if buckets < 1:
+        raise ValueError("histogram needs at least one bucket")
+    low, high = values[0], values[-1]
+    if math.isclose(low, high):
+        return [(high, len(values))]
+    width = (high - low) / buckets
+    counts = [0] * buckets
+    for value in values:
+        index = min(int((value - low) / width), buckets - 1)
+        counts[index] += 1
+    return [
+        (low + (index + 1) * width, counts[index]) for index in range(buckets)
+    ]
+
+
+def percentile(latencies: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty latency list."""
+    if not latencies:
+        raise ValueError("no latencies recorded")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    values = sorted(latencies)
+    rank = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
+    return values[rank]

@@ -1,0 +1,480 @@
+"""One live processor: an asyncio server wrapping a LocalDatabase.
+
+A :class:`NodeServer` is the live analogue of
+:class:`repro.distsim.node.Node`: it owns the processor's
+:class:`~repro.storage.local_db.LocalDatabase`, its volatile protocol
+state (the DA join-list), and its share of the metrics — and it listens
+on a socket instead of being poked by a discrete-event loop.  Every
+connection speaks the frame vocabulary of :mod:`repro.cluster.rpc`:
+
+* ``exec`` frames from clients run one read/write through the node's
+  live protocol adapter and answer with a ``result`` frame;
+* ``msg`` frames from peers carry charged protocol messages;
+* ``done`` frames resolve outstanding work units (the uncharged
+  completion oracle);
+* admin frames (``ping``/``metrics``/``set_peers``/``fault``/
+  ``reset_metrics``/``crash``/``recover``/``shutdown``) let launchers
+  and tests steer the node.
+
+Crash semantics mirror :mod:`repro.distsim.failures`' fail-stop model:
+a crashed node wipes its join-list, marks its stable copy suspect, and
+*drops* incoming protocol messages — counting the drop and notifying
+the sender's completion oracle so the origin can resolve the work unit
+(writes) or fail fast (reads), exactly like the simulated network's
+``on_dropped`` rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Set
+
+from repro.cluster.metrics import NodeMetrics
+from repro.cluster.protocol import make_live_protocol
+from repro.cluster.rpc import (
+    read_frame,
+    version_from_wire,
+    version_to_wire,
+    wire_to_message,
+    write_frame,
+)
+from repro.cluster.transport import Address, FaultPlan, PeerTransport, start_server
+from repro.exceptions import ClusterError, ProtocolError, StorageError
+from repro.storage.local_db import LocalDatabase
+from repro.storage.versions import ObjectVersion
+
+#: Admin frame types `_dispatch` routes to `_handle_admin`.
+ADMIN_FRAME_TYPES = frozenset(
+    {
+        "ping",
+        "metrics",
+        "set_peers",
+        "fault",
+        "reset_metrics",
+        "crash",
+        "recover",
+        "shutdown",
+    }
+)
+
+
+@dataclass
+class NodeConfig:
+    """Static configuration one node is started with."""
+
+    node_id: int
+    scheme: Iterable[int]
+    protocol: str = "DA"
+    primary: Optional[int] = None
+    address: Optional[Address] = None
+    #: Hard ceiling on one client request; a live protocol stalled by
+    #: extreme fault plans fails loudly instead of wedging the node.
+    exec_timeout: float = 15.0
+
+
+@dataclass
+class PendingRequest:
+    """An in-flight client request awaiting downstream work units.
+
+    The live twin of the simulator's
+    :class:`~repro.distsim.protocols.base.RequestContext`: ``units``
+    counts outstanding sub-operations; the future resolves when the
+    request reached quiescence (for reads, with the version)."""
+
+    rid: int
+    kind: str  # "r" | "w"
+    units: int
+    future: asyncio.Future
+    version: Optional[ObjectVersion] = None
+
+    def resolve(self) -> None:
+        if not self.future.done():
+            self.future.set_result(self.version)
+
+    async def result(self) -> Optional[ObjectVersion]:
+        return await self.future
+
+
+@dataclass
+class _Relay:
+    """Invalidations a member of ``F`` fans out on a writer's behalf;
+    the upstream store is acknowledged only once they all resolved."""
+
+    upstream: int
+    units: int
+
+
+class NodeServer:
+    """A live processor node serving one replicated object."""
+
+    def __init__(self, config: NodeConfig) -> None:
+        self.config = config
+        self.node_id = config.node_id
+        self.metrics = NodeMetrics(config.node_id)
+        self.transport = PeerTransport(config.node_id, self.metrics)
+        self.database = LocalDatabase(config.node_id)
+        #: DA volatile state: processors recorded as saving readers.
+        self.join_list: Set[int] = set()
+        self.crashed = False
+        self._pending: Dict[int, PendingRequest] = {}
+        self._relays: Dict[int, _Relay] = {}
+        self._server = None
+        self.address: Optional[Address] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._stopped = asyncio.Event()
+        # The adapter reads node state (join_list, database), so it is
+        # built last; it also validates scheme/primary.
+        self.protocol = make_live_protocol(config.protocol, self)
+        self._seed_initial_copy()
+
+    def _seed_initial_copy(self) -> None:
+        """Install version 0 uncharged iff this node is in the initial
+        scheme — byte-identical to the simulated drivers' seeding."""
+        scheme = self.protocol.scheme
+        if self.node_id in scheme:
+            self.database.seed(ObjectVersion(0, min(scheme)))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Address:
+        """Bind the listener; returns the actual (resolved) address."""
+        if self.config.address is None:
+            raise ClusterError(f"node {self.node_id} has no listen address")
+        self._server, self.address = await start_server(
+            self.config.address, self._on_connection
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until a ``shutdown`` admin frame (or `stop()`)."""
+        await self._stopped.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._stopped.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        # Close client connections so their handlers exit on EOF instead
+        # of being cancelled (cancellation is noisy on asyncio streams).
+        for writer in list(self._connections):
+            writer.close()
+        await self.transport.close()
+
+    # -- connection pump ---------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ClusterError:
+                    break  # garbage on the wire: drop the connection
+                if frame is None:
+                    break
+                await self._dispatch(frame, writer, lock)
+        except asyncio.CancelledError:  # pragma: no cover - loop teardown
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown
+                pass
+
+    async def _dispatch(
+        self,
+        frame: Mapping[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        kind = frame["type"]
+        if kind == "exec":
+            self._spawn(self._handle_exec(frame, writer, lock))
+        elif kind == "msg":
+            self._spawn(self._handle_msg(frame))
+        elif kind == "done":
+            self._spawn(self._handle_done(frame))
+        elif kind in ADMIN_FRAME_TYPES:
+            await self._handle_admin(kind, frame, writer, lock)
+        else:
+            async with lock:
+                await write_frame(
+                    writer,
+                    {"type": "error", "error": f"unknown frame type {kind!r}"},
+                )
+
+    def _spawn(self, coro) -> None:
+        """Run a handler concurrently so the read pump never blocks on
+        protocol work (which may await peers on *other* connections)."""
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # -- the client plane --------------------------------------------------
+
+    async def _handle_exec(
+        self,
+        frame: Mapping[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        rid = int(frame.get("rid", 0))
+        started = time.monotonic()
+        try:
+            version = await asyncio.wait_for(
+                self._execute(frame, rid), self.config.exec_timeout
+            )
+            self.metrics.requests_completed += 1
+            self.metrics.latencies.append(time.monotonic() - started)
+            payload = {
+                "type": "result",
+                "rid": rid,
+                "ok": True,
+                "version": version_to_wire(version),
+            }
+        except asyncio.TimeoutError:
+            self.metrics.request_errors += 1
+            self._pending.pop(rid, None)
+            payload = {
+                "type": "result",
+                "rid": rid,
+                "ok": False,
+                "error": (
+                    f"request {rid} timed out after "
+                    f"{self.config.exec_timeout}s"
+                ),
+            }
+        except (ClusterError, ProtocolError, StorageError) as error:
+            self.metrics.request_errors += 1
+            self._pending.pop(rid, None)
+            payload = {"type": "result", "rid": rid, "ok": False, "error": str(error)}
+        async with lock:
+            await write_frame(writer, payload)
+
+    async def _execute(
+        self, frame: Mapping[str, Any], rid: int
+    ) -> Optional[ObjectVersion]:
+        if self.crashed:
+            raise ClusterError(f"node {self.node_id} is crashed")
+        op = frame.get("op")
+        if op == "read":
+            return await self.protocol.client_read(rid)
+        if op == "write":
+            version = version_from_wire(frame.get("version"))
+            if version is None:
+                raise ClusterError("a write exec frame needs a 'version'")
+            await self.protocol.client_write(rid, version)
+            return version
+        raise ClusterError(f"unknown exec op {op!r} (expected read/write)")
+
+    # -- the peer plane ----------------------------------------------------
+
+    async def _handle_msg(self, frame: Mapping[str, Any]) -> None:
+        message = wire_to_message(frame)
+        if message.receiver != self.node_id:
+            raise ClusterError(
+                f"node {self.node_id} received {message.describe()} "
+                "addressed to someone else"
+            )
+        if self.crashed:
+            # Fail-stop: the message dies at the dead node.  Count the
+            # drop and resolve the sender's work unit via the oracle,
+            # matching the simulated network's on_dropped rule.
+            self.metrics.dropped_messages += 1
+            await self.transport.send_done(
+                message.sender,
+                getattr(message, "request_id", 0),
+                dropped=True,
+            )
+            return
+        await self.protocol.handle_message(message)
+
+    async def _handle_done(self, frame: Mapping[str, Any]) -> None:
+        rid = int(frame.get("rid", 0))
+        dropped = bool(frame.get("dropped", False))
+        if rid in self._relays:
+            await self.finish_relay_unit(rid)
+            return
+        pending = self._pending.get(rid)
+        if pending is None:
+            return  # late oracle for a request that already failed
+        if dropped and pending.kind == "r":
+            self.fail_pending(
+                rid, f"the response to read {rid} was lost in transit"
+            )
+            return
+        # A write's store/invalidate resolved (delivered or dropped —
+        # either way the work unit is settled).
+        self.finish_unit(rid, dropped=dropped)
+
+    # -- admin plane -------------------------------------------------------
+
+    async def _handle_admin(
+        self,
+        kind: str,
+        frame: Mapping[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        try:
+            reply = self._admin_reply(kind, frame)
+        except ClusterError as error:
+            reply = {"type": "error", "error": str(error)}
+        async with lock:
+            await write_frame(writer, reply)
+        if kind == "shutdown" and reply.get("type") == "ok":
+            self._stopped.set()
+
+    def _admin_reply(
+        self, kind: str, frame: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        if kind == "ping":
+            return {
+                "type": "pong",
+                "node": self.node_id,
+                "crashed": self.crashed,
+                "protocol": self.protocol.name,
+            }
+        if kind == "metrics":
+            return {"type": "metrics_report", "metrics": self.metrics.to_wire()}
+        if kind == "set_peers":
+            self.transport.set_peers(
+                {
+                    int(node): Address.parse(rendered)
+                    for node, rendered in frame.get("peers", {}).items()
+                }
+            )
+            return {"type": "ok", "op": "set_peers"}
+        if kind == "fault":
+            plan = frame.get("plan")
+            self.transport.fault_plan = (
+                FaultPlan.from_wire(plan) if plan is not None else None
+            )
+            return {"type": "ok", "op": "fault"}
+        if kind == "reset_metrics":
+            self.reset_metrics()
+            return {"type": "ok", "op": "reset_metrics"}
+        if kind == "crash":
+            self.crash()
+            return {"type": "ok", "op": "crash"}
+        if kind == "recover":
+            self.recover()
+            return {"type": "ok", "op": "recover"}
+        if kind == "shutdown":
+            return {"type": "ok", "op": "shutdown"}
+        raise ClusterError(f"unknown admin frame {kind!r}")
+
+    # -- state used by the protocol adapters -------------------------------
+
+    def input_object(self) -> ObjectVersion:
+        """Read the object from the local database (charged I/O)."""
+        version = self.database.input_object()
+        self.metrics.io_reads += 1
+        return version
+
+    def output_object(self, version: ObjectVersion) -> None:
+        """Write the object to the local database (charged I/O)."""
+        self.database.output_object(version)
+        self.metrics.io_writes += 1
+
+    def open_pending(self, rid: int, kind: str, units: int) -> PendingRequest:
+        if rid in self._pending:
+            raise ClusterError(f"request id {rid} is already in flight here")
+        pending = PendingRequest(
+            rid=rid,
+            kind=kind,
+            units=units,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if units <= 0:
+            pending.resolve()
+        else:
+            self._pending[rid] = pending
+        return pending
+
+    def finish_unit(self, rid: int, dropped: bool = False) -> None:
+        pending = self._pending.get(rid)
+        if pending is None:
+            return
+        pending.units -= 1
+        if pending.units <= 0:
+            self._pending.pop(rid, None)
+            pending.resolve()
+
+    def fail_pending(self, rid: int, reason: str) -> None:
+        pending = self._pending.pop(rid, None)
+        if pending is not None and not pending.future.done():
+            pending.future.set_exception(ClusterError(reason))
+
+    def resolve_read(
+        self, rid: int, version: ObjectVersion, save: bool = False
+    ) -> bool:
+        """Claim an incoming DataTransfer as *this node's* read response.
+
+        Request ids are globally unique (the load generator assigns
+        them), so holding a read pending for ``rid`` is proof the
+        transfer answers our own request rather than delivering a
+        write's store.  Saving readers (DA) charge the output here."""
+        pending = self._pending.get(rid)
+        if pending is None or pending.kind != "r":
+            return False
+        if save:
+            self.output_object(version)
+        pending.version = version
+        self.finish_unit(rid)
+        return True
+
+    def open_relay(self, rid: int, upstream: int, units: int) -> None:
+        self._relays[rid] = _Relay(upstream=upstream, units=units)
+
+    async def finish_relay_unit(self, rid: int) -> None:
+        relay = self._relays.get(rid)
+        if relay is None:
+            return
+        relay.units -= 1
+        if relay.units <= 0:
+            self._relays.pop(rid, None)
+            await self.transport.send_done(relay.upstream, rid)
+
+    # -- failures ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: volatile state lost, stable copy suspect."""
+        if self.crashed:
+            raise ClusterError(f"node {self.node_id} is already down")
+        self.crashed = True
+        self.join_list.clear()
+        self.database.crash()
+        self._relays.clear()
+        for rid in list(self._pending):
+            self.fail_pending(rid, f"node {self.node_id} crashed")
+
+    def recover(self) -> None:
+        """Rejoin; the copy stays invalid until re-read from the scheme
+        (it may have missed writes), per the simulator's semantics."""
+        if not self.crashed:
+            raise ClusterError(f"node {self.node_id} is not down")
+        self.crashed = False
+
+    def reset_metrics(self) -> None:
+        """Fresh counters (e.g. after warm-up); shared with transport."""
+        self.metrics = NodeMetrics(self.node_id)
+        self.transport.metrics = self.metrics

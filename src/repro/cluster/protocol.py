@@ -1,0 +1,300 @@
+"""Live protocol adapters: distsim's SA/DA logic over real sockets.
+
+The discrete-event drivers in :mod:`repro.distsim.protocols` centralize
+the protocol state machine in one object that handles every node's
+messages.  A live cluster cannot: each node only owns *its* volatile
+state (DA join-lists) and *its* database.  The adapters below therefore
+distribute the drivers' responsibilities to the nodes that own them —
+the serving member records joiners, each member of ``F`` walks its own
+join-list on a write — while the decision rules themselves (execution
+sets, invalidation targets, store targets) are imported from the
+distsim modules (:func:`~repro.distsim.protocols.da_protocol.da_execution_set`,
+:func:`~repro.distsim.protocols.da_protocol.da_invalidation_targets`,
+:func:`~repro.distsim.protocols.sa_protocol.sa_store_targets`), so the
+two realizations can never disagree about *what* to send.
+
+Message-for-message the traffic is identical to the simulated drivers
+(same senders, same receivers, same classes), which is what makes the
+end-to-end parity claim exact: live counts == simulated counts ==
+stepped accounting == kernel.
+
+Completion tracking uses uncharged ``done`` frames (the wire analogue
+of the simulator's ``on_delivered`` oracle) arranged hierarchically:
+the origin node awaits its direct sends; a member of ``F`` that relays
+invalidations on behalf of a write acknowledges the store only after
+its own invalidations are acknowledged.  Running each request to
+quiescence before the next starts realizes the paper's totally-ordered
+schedules exactly like the simulator does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, List
+
+from repro.distsim.messages import DataTransfer, Invalidate, Message, ReadRequest
+from repro.distsim.protocols.da_protocol import (
+    da_execution_set,
+    da_invalidation_targets,
+)
+from repro.distsim.protocols.sa_protocol import sa_store_targets
+from repro.exceptions import ClusterError
+from repro.storage.versions import ObjectVersion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import NodeServer
+
+
+class LiveProtocol:
+    """Base of the node-side protocol adapters."""
+
+    name = "live-abstract"
+
+    def __init__(self, node: "NodeServer") -> None:
+        self.node = node
+        self.scheme = frozenset(node.config.scheme)
+        if len(self.scheme) < 2:
+            raise ClusterError("the initial scheme must have t >= 2 members")
+
+    @property
+    def me(self) -> int:
+        return self.node.node_id
+
+    async def client_read(self, rid: int) -> ObjectVersion:
+        raise NotImplementedError
+
+    async def client_write(self, rid: int, version: ObjectVersion) -> None:
+        raise NotImplementedError
+
+    async def handle_message(self, message: Message) -> None:
+        raise NotImplementedError
+
+    # -- shared building blocks ------------------------------------------
+
+    async def _fan_out(self, rid: int, messages: List[Message]) -> None:
+        """Send concurrently; a sender-side drop of a store or an
+        invalidation resolves its work unit immediately (the simulated
+        network's ``on_dropped`` rule — the lost copy is moot)."""
+        transport = self.node.transport
+        results = await asyncio.gather(
+            *(transport.send_protocol(message) for message in messages)
+        )
+        for message, delivered in zip(messages, results):
+            if not delivered:
+                self.node.finish_unit(rid, dropped=True)
+
+    async def _remote_read(self, rid: int, server: int) -> ObjectVersion:
+        """Request the object from ``server`` and await the response."""
+        pending = self.node.open_pending(rid, "r", units=1)
+        delivered = await self.node.transport.send_protocol(
+            ReadRequest(self.me, server, request_id=rid)
+        )
+        if not delivered:
+            self.node.fail_pending(
+                rid,
+                f"read request from {self.me} to {server} was lost in transit",
+            )
+        return await pending.result()
+
+    async def _serve_read(self, message: ReadRequest, save_copy: bool) -> None:
+        """Input the object and ship it back to the requester."""
+        version = self.node.input_object()
+        delivered = await self.node.transport.send_protocol(
+            DataTransfer(
+                self.me,
+                message.sender,
+                version=version,
+                request_id=message.request_id,
+                save_copy=save_copy,
+            )
+        )
+        if not delivered:
+            # The response is gone; unblock the reader so it can fail
+            # fast instead of hanging (the oracle plane is never faulted).
+            await self.node.transport.send_done(
+                message.sender, message.request_id, dropped=True
+            )
+
+
+class LiveStaticAllocation(LiveProtocol):
+    """SA (§4.2.1) served live: read-one-write-all over a fixed ``Q``."""
+
+    name = "SA-live"
+
+    def __init__(self, node: "NodeServer") -> None:
+        super().__init__(node)
+        self.server = min(self.scheme)
+
+    async def client_read(self, rid: int) -> ObjectVersion:
+        if self.me in self.scheme:
+            return self.node.input_object()
+        return await self._remote_read(rid, self.server)
+
+    async def client_write(self, rid: int, version: ObjectVersion) -> None:
+        targets = sa_store_targets(self.scheme, self.me)
+        pending = self.node.open_pending(rid, "w", units=len(targets))
+        if self.me in self.scheme:
+            self.node.output_object(version)
+        await self._fan_out(
+            rid,
+            [
+                DataTransfer(
+                    self.me, member, version=version, request_id=rid,
+                    save_copy=True,
+                )
+                for member in targets
+            ],
+        )
+        await pending.result()
+
+    async def handle_message(self, message: Message) -> None:
+        if isinstance(message, ReadRequest):
+            # Outsiders do not save the copy under SA.
+            await self._serve_read(message, save_copy=False)
+        elif isinstance(message, DataTransfer):
+            if self.node.resolve_read(message.request_id, message.version):
+                return  # my own read response; SA readers never save
+            self.node.output_object(message.version)
+            await self.node.transport.send_done(
+                message.sender, message.request_id
+            )
+        else:
+            raise ClusterError(
+                f"{self.name} got unexpected {message.describe()}"
+            )
+
+
+class LiveDynamicAllocation(LiveProtocol):
+    """DA (§4.2.2) served live: save-on-read / invalidate-on-write."""
+
+    name = "DA-live"
+
+    def __init__(self, node: "NodeServer") -> None:
+        super().__init__(node)
+        primary = node.config.primary
+        if primary is None:
+            primary = max(self.scheme)
+        if primary not in self.scheme:
+            raise ClusterError(
+                f"primary {primary} is not in the scheme {sorted(self.scheme)}"
+            )
+        self.primary = primary
+        self.core = frozenset(self.scheme - {primary})
+        if not self.core:
+            raise ClusterError("F must be non-empty (t >= 2)")
+        self.server = min(self.core)
+        if self.me == self.server:
+            # The primary starts as a recorded non-core holder, exactly
+            # as the simulated driver seeds the server's join-list.
+            node.join_list.add(self.primary)
+
+    async def client_read(self, rid: int) -> ObjectVersion:
+        if self.node.database.holds_valid_copy:
+            return self.node.input_object()
+        return await self._remote_read(rid, self.server)
+
+    async def client_write(self, rid: int, version: ObjectVersion) -> None:
+        execution_set = da_execution_set(self.core, self.primary, self.me)
+        own_targets: List[int] = []
+        if self.me in self.core:
+            own_targets = da_invalidation_targets(
+                self.node.join_list, execution_set, self.me
+            )
+        stores = sorted(execution_set - {self.me})
+        pending = self.node.open_pending(
+            rid, "w", units=len(stores) + len(own_targets)
+        )
+        self.node.output_object(version)
+        if self.me in self.core:
+            self._restart_join_list(execution_set)
+        messages: List[Message] = [
+            DataTransfer(
+                self.me, member, version=version, request_id=rid,
+                save_copy=True,
+            )
+            for member in stores
+        ]
+        messages += [
+            Invalidate(
+                self.me, target, version_number=version.number, request_id=rid
+            )
+            for target in own_targets
+        ]
+        await self._fan_out(rid, messages)
+        await pending.result()
+
+    def _restart_join_list(self, execution_set) -> None:
+        """Clear the walked join-list; the serving member then records
+        the new execution set's non-core holders."""
+        self.node.join_list.clear()
+        if self.me == self.server:
+            self.node.join_list.update(execution_set - self.core)
+
+    async def handle_message(self, message: Message) -> None:
+        if isinstance(message, ReadRequest):
+            if message.sender not in self.core:
+                self.node.join_list.add(message.sender)
+            # The reader saves the copy: a saving-read.
+            await self._serve_read(message, save_copy=True)
+        elif isinstance(message, DataTransfer):
+            await self._handle_data_transfer(message)
+        elif isinstance(message, Invalidate):
+            self.node.database.invalidate()
+            await self.node.transport.send_done(
+                message.sender, message.request_id
+            )
+        else:
+            raise ClusterError(
+                f"{self.name} got unexpected {message.describe()}"
+            )
+
+    async def _handle_data_transfer(self, message: DataTransfer) -> None:
+        rid = message.request_id
+        if self.node.resolve_read(rid, message.version, save=True):
+            return  # my own saving-read response (saved in resolve_read)
+        # A store from a writer: output, then (members of F) walk the
+        # join-list and invalidate stale holders before acknowledging.
+        self.node.output_object(message.version)
+        writer = message.sender
+        if self.me in self.core:
+            execution_set = da_execution_set(self.core, self.primary, writer)
+            targets = da_invalidation_targets(
+                self.node.join_list, execution_set, writer
+            )
+            self._restart_join_list(execution_set)
+            if targets:
+                self.node.open_relay(rid, upstream=writer, units=len(targets))
+                await self._relay_invalidations(
+                    rid, message.version.number, targets
+                )
+                return  # the relay acknowledges upstream when drained
+        await self.node.transport.send_done(writer, rid)
+
+    async def _relay_invalidations(
+        self, rid: int, version_number: int, targets: List[int]
+    ) -> None:
+        transport = self.node.transport
+        results = await asyncio.gather(
+            *(
+                transport.send_protocol(
+                    Invalidate(
+                        self.me, target, version_number=version_number,
+                        request_id=rid,
+                    )
+                )
+                for target in targets
+            )
+        )
+        for delivered in results:
+            if not delivered:
+                await self.node.finish_relay_unit(rid)
+
+
+def make_live_protocol(name: str, node: "NodeServer") -> LiveProtocol:
+    """Build a live adapter by the protocol's short name."""
+    key = name.strip().upper()
+    if key == "SA":
+        return LiveStaticAllocation(node)
+    if key == "DA":
+        return LiveDynamicAllocation(node)
+    raise ClusterError(f"unknown live protocol {name!r}; known: SA, DA")

@@ -1,0 +1,214 @@
+"""Wire format of the live cluster: length-prefixed JSON frames.
+
+Every frame on a cluster connection — client requests, peer protocol
+messages, completion notifications, admin commands — is one JSON object
+encoded as UTF-8 and prefixed with a 4-byte big-endian length.  The
+framing is deliberately tiny: it can be reimplemented in a dozen lines
+of any language, and a captured byte stream is human-decodable with
+``struct`` + ``json`` alone.
+
+Frame families (the ``type`` field):
+
+``exec`` / ``result``
+    The client plane: a read/write request routed to the issuing
+    processor's node, and its reply.
+``msg``
+    The peer plane: one of the :mod:`repro.distsim.messages` protocol
+    messages in transit.  These are the *charged* frames — the node
+    metrics count them by paper class (control vs data) exactly like
+    the simulated network does.
+``done``
+    The completion oracle: an **uncharged** notification that a unit of
+    work finished downstream.  It plays the role of the simulator's
+    ``on_delivered`` hook (see :mod:`repro.distsim.network`): the paper
+    does not charge acknowledgements, so neither does the cluster.
+``ping`` / ``metrics`` / ``set_peers`` / ``fault`` / ``reset_metrics``
+    / ``shutdown``
+    The admin plane, used by launchers, tests and the CLI.
+
+The codec below maps every :class:`~repro.distsim.messages.Message`
+subclass to and from its wire form, so the live transport ships the
+*same* protocol vocabulary the discrete-event simulator uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Mapping, Optional
+
+from repro.distsim.messages import (
+    Ack,
+    DataTransfer,
+    Invalidate,
+    Message,
+    ReadRequest,
+    VersionInquiry,
+    VersionReport,
+)
+from repro.exceptions import ClusterError
+from repro.storage.versions import ObjectVersion
+
+_HEADER = struct.Struct(">I")
+
+#: Frames larger than this are rejected: the replicated object payloads
+#: of the reproduction are small, so a huge length prefix means a
+#: corrupt or hostile stream, not a legitimate message.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialize one frame: 4-byte length prefix + UTF-8 JSON."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    data = body.encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(data)) + data
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF between frames."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ClusterError(
+            f"connection closed mid-header ({len(error.partial)} of "
+            f"{_HEADER.size} bytes)"
+        ) from error
+    except (ConnectionError, OSError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ClusterError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes)"
+        ) from error
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ClusterError(f"malformed frame body: {error}") from error
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ClusterError("every frame must be a JSON object with a 'type'")
+    return payload
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: Mapping[str, Any]
+) -> None:
+    """Write one frame and flush it."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- object versions -------------------------------------------------------
+
+
+def version_to_wire(version: Optional[ObjectVersion]) -> Optional[dict]:
+    if version is None:
+        return None
+    wire: Dict[str, Any] = {"number": version.number, "writer": version.writer}
+    if version.payload is not None:
+        wire["payload"] = version.payload
+    return wire
+
+
+def version_from_wire(wire: Optional[Mapping[str, Any]]) -> Optional[ObjectVersion]:
+    if wire is None:
+        return None
+    return ObjectVersion(
+        int(wire["number"]), int(wire["writer"]), wire.get("payload")
+    )
+
+
+# -- protocol-message codec -------------------------------------------------
+
+_KIND_TO_CLASS = {
+    "read_request": ReadRequest,
+    "invalidate": Invalidate,
+    "ack": Ack,
+    "version_inquiry": VersionInquiry,
+    "version_report": VersionReport,
+    "data_transfer": DataTransfer,
+}
+_CLASS_TO_KIND = {cls: kind for kind, cls in _KIND_TO_CLASS.items()}
+
+
+def message_to_wire(message: Message) -> Dict[str, Any]:
+    """Encode a distsim protocol message as a ``msg`` frame payload."""
+    kind = _CLASS_TO_KIND.get(type(message))
+    if kind is None:
+        raise ClusterError(
+            f"no wire encoding for message type {type(message).__name__}"
+        )
+    wire: Dict[str, Any] = {
+        "type": "msg",
+        "kind": kind,
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "rid": getattr(message, "request_id", 0),
+    }
+    if isinstance(message, Invalidate):
+        wire["version_number"] = message.version_number
+    elif isinstance(message, VersionReport):
+        wire["version_number"] = message.version_number
+        wire["holds_copy"] = message.holds_copy
+    elif isinstance(message, DataTransfer):
+        wire["version"] = version_to_wire(message.version)
+        wire["save_copy"] = message.save_copy
+    elif isinstance(message, Ack) and message.info is not None:
+        wire["info"] = message.info
+    return wire
+
+
+def wire_to_message(wire: Mapping[str, Any]) -> Message:
+    """Decode a ``msg`` frame payload back into a protocol message."""
+    kind = wire.get("kind")
+    cls = _KIND_TO_CLASS.get(kind)
+    if cls is None:
+        raise ClusterError(f"unknown protocol message kind {kind!r}")
+    sender = int(wire["sender"])
+    receiver = int(wire["receiver"])
+    rid = int(wire.get("rid", 0))
+    if cls is ReadRequest:
+        return ReadRequest(sender, receiver, request_id=rid)
+    if cls is Invalidate:
+        return Invalidate(
+            sender,
+            receiver,
+            version_number=int(wire.get("version_number", -1)),
+            request_id=rid,
+        )
+    if cls is Ack:
+        return Ack(sender, receiver, request_id=rid, info=wire.get("info"))
+    if cls is VersionInquiry:
+        return VersionInquiry(sender, receiver, request_id=rid)
+    if cls is VersionReport:
+        return VersionReport(
+            sender,
+            receiver,
+            request_id=rid,
+            version_number=int(wire.get("version_number", -1)),
+            holds_copy=bool(wire.get("holds_copy", False)),
+        )
+    return DataTransfer(
+        sender,
+        receiver,
+        version=version_from_wire(wire.get("version")),
+        request_id=rid,
+        save_copy=bool(wire.get("save_copy", False)),
+    )

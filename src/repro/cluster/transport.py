@@ -1,0 +1,310 @@
+"""Live transport: peer links, addressing and fault injection.
+
+Each node owns a :class:`PeerTransport`: one lazily-opened, long-lived
+connection per peer, over which it ships charged protocol messages
+(``msg`` frames) and uncharged completion notifications (``done``
+frames).  Charged sends are counted by paper class at the sender —
+exactly where the simulated :class:`~repro.distsim.network.Network`
+charges them — so live and simulated totals are comparable unit for
+unit.
+
+Fault injection mirrors the two fault planes of the simulator:
+
+* **node faults** (crash/recover) follow the fail-stop semantics of
+  :mod:`repro.distsim.failures` and live in the node server — a crashed
+  node drops incoming protocol messages and wipes its volatile state;
+* **transport faults** (this module) act on the sender side of a link:
+  per-link or global *delay*, deterministic or probabilistic *drop*,
+  and *partition* (drop-all across groups).  Delays reorder delivery
+  but never change what is charged; drops are charged to the sender and
+  counted in ``dropped_messages``, matching the simulated network's
+  treatment of messages addressed to dead nodes.
+
+Only charged protocol frames are subject to transport faults.  ``done``
+frames are the experimenter's completion oracle — the stand-in for the
+simulator's omniscient event loop — and always get through.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.cluster.rpc import message_to_wire, write_frame
+from repro.cluster.metrics import NodeMetrics
+from repro.distsim.messages import Message
+from repro.exceptions import ClusterError
+
+
+# -- addressing ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Address:
+    """Where a node listens: a TCP endpoint or a Unix-domain socket."""
+
+    kind: str  # "tcp" | "unix"
+    host: str = ""
+    port: int = 0
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tcp", "unix"):
+            raise ClusterError(f"unknown address kind {self.kind!r}")
+        if self.kind == "unix" and not self.path:
+            raise ClusterError("unix addresses need a socket path")
+
+    def render(self) -> str:
+        if self.kind == "unix":
+            return f"unix:{self.path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        kind, _, rest = text.strip().partition(":")
+        if kind == "unix" and rest:
+            return cls("unix", path=rest)
+        if kind == "tcp":
+            host, _, port = rest.rpartition(":")
+            if host and port.isdigit():
+                return cls("tcp", host=host, port=int(port))
+        raise ClusterError(
+            f"cannot parse address {text!r} "
+            "(expected tcp:HOST:PORT or unix:/path.sock)"
+        )
+
+
+async def open_channel(
+    address: Address,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Connect to a node's listening address."""
+    if address.kind == "unix":
+        return await asyncio.open_unix_connection(address.path)
+    return await asyncio.open_connection(address.host, address.port)
+
+
+async def start_server(address: Address, handler) -> Tuple[Any, Address]:
+    """Bind a listener; returns the server and the *actual* address.
+
+    TCP addresses with port 0 are resolved to the ephemeral port the
+    kernel picked, so launchers can bind first and wire peers after.
+    """
+    if address.kind == "unix":
+        server = await asyncio.start_unix_server(handler, path=address.path)
+        return server, address
+    server = await asyncio.start_server(handler, address.host, address.port)
+    port = server.sockets[0].getsockname()[1]
+    return server, Address("tcp", host=address.host, port=port)
+
+
+# -- fault plans ----------------------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """Sender-side transport faults, deterministic under a seed.
+
+    ``default_delay`` and ``link_delays`` are in seconds; ``drop_next``
+    drops the next *k* messages on a link; ``drop_probability`` drops
+    each message with probability p using a seeded RNG;
+    ``blocked_links`` drop everything on a link; ``partitions`` groups
+    node ids — messages crossing group boundaries are dropped (a node
+    listed in no group is its own island).
+    """
+
+    default_delay: float = 0.0
+    link_delays: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    blocked_links: FrozenSet[Tuple[int, int]] = frozenset()
+    drop_next: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    drop_probability: float = 0.0
+    seed: int = 0
+    partitions: Tuple[FrozenSet[int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.default_delay < 0 or any(
+            delay < 0 for delay in self.link_delays.values()
+        ):
+            raise ClusterError("delays must be non-negative")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ClusterError("drop_probability must be within [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def delay_for(self, sender: int, receiver: int) -> float:
+        return self.link_delays.get((sender, receiver), self.default_delay)
+
+    def _group_of(self, node_id: int):
+        for index, group in enumerate(self.partitions):
+            if node_id in group:
+                return index
+        # Unlisted nodes are their own island: a partition statement is
+        # a complete description of who can reach whom.
+        return ("island", node_id)
+
+    def crosses_partition(self, sender: int, receiver: int) -> bool:
+        if not self.partitions:
+            return False
+        return self._group_of(sender) != self._group_of(receiver)
+
+    def should_drop(self, sender: int, receiver: int) -> bool:
+        """Decide (and consume budget) whether this send is lost."""
+        link = (sender, receiver)
+        if link in self.blocked_links or self.crosses_partition(*link):
+            return True
+        remaining = self.drop_next.get(link, 0)
+        if remaining > 0:
+            self.drop_next[link] = remaining - 1
+            return True
+        if self.drop_probability > 0.0:
+            return self._rng.random() < self.drop_probability
+        return False
+
+    # -- serialization (shipped in admin `fault` frames) -------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "default_delay": self.default_delay,
+            "link_delays": [
+                [src, dst, delay]
+                for (src, dst), delay in sorted(self.link_delays.items())
+            ],
+            "blocked_links": sorted(list(link) for link in self.blocked_links),
+            "drop_next": [
+                [src, dst, count]
+                for (src, dst), count in sorted(self.drop_next.items())
+            ],
+            "drop_probability": self.drop_probability,
+            "seed": self.seed,
+            "partitions": [sorted(group) for group in self.partitions],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            default_delay=float(wire.get("default_delay", 0.0)),
+            link_delays={
+                (int(src), int(dst)): float(delay)
+                for src, dst, delay in wire.get("link_delays", [])
+            },
+            blocked_links=frozenset(
+                (int(src), int(dst))
+                for src, dst in wire.get("blocked_links", [])
+            ),
+            drop_next={
+                (int(src), int(dst)): int(count)
+                for src, dst, count in wire.get("drop_next", [])
+            },
+            drop_probability=float(wire.get("drop_probability", 0.0)),
+            seed=int(wire.get("seed", 0)),
+            partitions=tuple(
+                frozenset(int(node) for node in group)
+                for group in wire.get("partitions", [])
+            ),
+        )
+
+
+# -- the per-node transport -------------------------------------------------
+
+
+class PeerTransport:
+    """One node's outgoing links to its peers."""
+
+    def __init__(
+        self,
+        node_id: int,
+        metrics: NodeMetrics,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.metrics = metrics
+        self.fault_plan = fault_plan
+        self.peers: Dict[int, Address] = {}
+        self._links: Dict[
+            int, Tuple[asyncio.StreamReader, asyncio.StreamWriter, asyncio.Lock]
+        ] = {}
+        self._connect_lock = asyncio.Lock()
+
+    def set_peers(self, peers: Mapping[int, Address]) -> None:
+        self.peers = dict(peers)
+
+    # -- the two send planes ---------------------------------------------
+
+    async def send_protocol(self, message: Message) -> bool:
+        """Charge and ship a protocol message; ``False`` if a transport
+        fault swallowed it (the charge stands, mirroring the simulated
+        network's sender-side accounting for doomed messages)."""
+        if message.sender != self.node_id:
+            raise ClusterError(
+                f"node {self.node_id} cannot send on behalf of "
+                f"{message.sender}"
+            )
+        if message.receiver == self.node_id:
+            raise ClusterError(
+                f"{message.describe()}: a processor does not message itself "
+                "(local work is I/O, not communication)"
+            )
+        self.metrics.charge_message(message)
+        plan = self.fault_plan
+        if plan is not None and plan.should_drop(message.sender, message.receiver):
+            self.metrics.dropped_messages += 1
+            return False
+        delay = plan.delay_for(message.sender, message.receiver) if plan else 0.0
+        await self._write(message.receiver, message_to_wire(message), delay)
+        return True
+
+    async def send_done(
+        self, peer: int, rid: int, dropped: bool = False
+    ) -> None:
+        """Ship an uncharged completion notification (never faulted)."""
+        await self._write(
+            peer,
+            {"type": "done", "rid": rid, "from": self.node_id, "dropped": dropped},
+            delay=0.0,
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    async def _link(
+        self, peer: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, asyncio.Lock]:
+        if peer in self._links:
+            return self._links[peer]
+        async with self._connect_lock:
+            if peer in self._links:
+                return self._links[peer]
+            if peer not in self.peers:
+                raise ClusterError(
+                    f"node {self.node_id} has no address for peer {peer}"
+                )
+            reader, writer = await open_channel(self.peers[peer])
+            self._links[peer] = (reader, writer, asyncio.Lock())
+            return self._links[peer]
+
+    async def _write(
+        self, peer: int, payload: Mapping[str, Any], delay: float
+    ) -> None:
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        for attempt in (0, 1):
+            _, writer, lock = await self._link(peer)
+            try:
+                async with lock:
+                    await write_frame(writer, payload)
+                return
+            except (ConnectionError, OSError) as error:
+                self._links.pop(peer, None)
+                if attempt:
+                    raise ClusterError(
+                        f"link {self.node_id} -> {peer} failed: {error}"
+                    ) from error
+
+    async def close(self) -> None:
+        links: List = list(self._links.values())
+        self._links.clear()
+        for _, writer, _ in links:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass

@@ -38,6 +38,36 @@ from repro.types import ProcessorId, ProcessorSet
 _JOIN_LIST = "join_list"
 
 
+def da_execution_set(
+    core: ProcessorSet, primary: ProcessorId, writer: ProcessorId
+) -> ProcessorSet:
+    """The execution set of a DA write (paper §4.2.2).
+
+    ``F ∪ {p}`` when the writer belongs to ``F ∪ {p}``, otherwise
+    ``F ∪ {j}``.  Shared by the simulated driver and the live cluster
+    adapter (:mod:`repro.cluster.protocol`) so both realizations apply
+    the identical rule.
+    """
+    if writer in core or writer == primary:
+        return frozenset(core | {primary})
+    return frozenset(core | {writer})
+
+
+def da_invalidation_targets(
+    join_list: Set[ProcessorId],
+    execution_set: ProcessorSet,
+    writer: ProcessorId,
+) -> list[ProcessorId]:
+    """Who a member of ``F`` must invalidate on a write.
+
+    Paper: "Each processor of F sends 'invalidate' control-messages to
+    the processors in its join-list, except for q" — and members of the
+    new execution set keep (or just received) the fresh version, so
+    they are never invalidated.  Sorted for deterministic sends.
+    """
+    return sorted(set(join_list) - set(execution_set) - {writer})
+
+
 class DynamicAllocationProtocol(ProtocolDriver):
     """Save-on-read / invalidate-on-write with join-lists."""
 
@@ -140,9 +170,7 @@ class DynamicAllocationProtocol(ProtocolDriver):
     # -- writes ----------------------------------------------------------------------
 
     def execution_set_for(self, writer: ProcessorId) -> ProcessorSet:
-        if writer in self.core | {self.primary}:
-            return self.core | {self.primary}
-        return self.core | {writer}
+        return da_execution_set(self.core, self.primary, writer)
 
     def start_write(
         self, context: RequestContext, version: ObjectVersion
@@ -155,7 +183,7 @@ class DynamicAllocationProtocol(ProtocolDriver):
         # 1. Invalidations along the join-lists, before the lists reset.
         for member in sorted(self.core):
             join_list = self._join_list(member)
-            targets = sorted(join_list - execution_set - {writer})
+            targets = da_invalidation_targets(join_list, execution_set, writer)
             for target in targets:
                 context.add_work()
                 self.network.send(

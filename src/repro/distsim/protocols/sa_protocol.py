@@ -26,7 +26,20 @@ from repro.distsim.network import Network
 from repro.distsim.protocols.base import ProtocolDriver, RequestContext
 from repro.exceptions import ProtocolError
 from repro.storage.versions import ObjectVersion
-from repro.types import ProcessorId
+from repro.types import ProcessorId, ProcessorSet
+
+
+def sa_store_targets(
+    scheme: ProcessorSet, writer: ProcessorId
+) -> list[ProcessorId]:
+    """The replicas a SA write ships the new version to.
+
+    Every member of the fixed scheme ``Q`` except the writer itself
+    (which performs a local output instead).  Shared by the simulated
+    driver and the live cluster adapter so both realizations apply the
+    identical rule; sorted for deterministic sends.
+    """
+    return sorted(set(scheme) - {writer})
 
 
 class StaticAllocationProtocol(ProtocolDriver):
@@ -95,7 +108,7 @@ class StaticAllocationProtocol(ProtocolDriver):
         writer = context.request.processor
         if writer in self.initial_scheme:
             self.local_write(context, writer, version)
-        for member in sorted(self.initial_scheme - {writer}):
+        for member in sa_store_targets(self.initial_scheme, writer):
             context.add_work()
             self.network.send(
                 DataTransfer(

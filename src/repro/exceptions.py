@@ -55,6 +55,16 @@ class SimulationError(ReproError):
     """The discrete-event simulator detected an internal inconsistency."""
 
 
+class ClusterError(ReproError):
+    """A live-cluster operation failed.
+
+    Raised by :mod:`repro.cluster` when, e.g., a wire frame is
+    malformed, a request is routed to a crashed node, or a message is
+    lost to injected transport faults in a way the protocol cannot
+    absorb (a dropped read request, unlike a dropped store, leaves the
+    reader without the object)."""
+
+
 class StorageError(ReproError):
     """A local-database operation failed (e.g. reading an object that
     was never stored, or reading an invalidated copy)."""

@@ -16,6 +16,7 @@ from repro.kernel.compile import (
 from repro.kernel.dispatch import (
     batch_costs,
     request_costs,
+    schedule_breakdown,
     schedule_cost,
     supports,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "popcount",
     "request_costs",
     "sa_request_costs",
+    "schedule_breakdown",
     "schedule_cost",
     "schedule_totals",
     "supports",

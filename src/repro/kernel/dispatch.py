@@ -24,8 +24,17 @@ from repro.core.dynamic_allocation import DynamicAllocation
 from repro.core.static_allocation import StaticAllocation
 from repro.exceptions import ConfigurationError
 from repro.kernel.compile import CompiledBatch, compile_batch
+from repro.model.accounting import CostBreakdown
 from repro.model.cost_model import CostModel
 from repro.model.schedule import Schedule
+
+#: Unit-price models that project one counter each out of the kernel's
+#: priced totals.  Charging only control messages prices a data message
+#: below a control message, which Figure 1 calls infeasible — hence the
+#: explicit opt-out.
+_UNIT_IO = CostModel(1.0, 0.0, 0.0)
+_UNIT_CONTROL = CostModel(0.0, 1.0, 0.0, allow_infeasible=True)
+_UNIT_DATA = CostModel(0.0, 0.0, 1.0)
 
 
 def supports(algorithm: OnlineDOM) -> bool:
@@ -83,3 +92,28 @@ def schedule_cost(
 ) -> float:
     """Total cost of a supported algorithm on one schedule."""
     return batch_costs(algorithm, [schedule], model)[0]
+
+
+def schedule_breakdown(
+    algorithm: OnlineDOM, schedule: Schedule
+) -> CostBreakdown:
+    """The kernel's *unpriced* counters for one schedule.
+
+    Evaluates the batch three times under unit-price models (1 for one
+    counter, 0 for the others), so each priced total IS that counter.
+    The result is directly comparable with the stepped model's
+    ``total_breakdown()``, the simulator's ``stats.breakdown()`` and a
+    live cluster's aggregated metrics — the fourth corner of the parity
+    square.  Kernel totals are exact integers computed in float; the
+    round() guards against representation noise only.
+    """
+    batch = compile_batch([schedule], algorithm.initial_scheme)
+    counts = [
+        batch_costs(algorithm, [schedule], model, batch=batch)[0]
+        for model in (_UNIT_IO, _UNIT_CONTROL, _UNIT_DATA)
+    ]
+    return CostBreakdown(
+        io_ops=round(counts[0]),
+        control_messages=round(counts[1]),
+        data_messages=round(counts[2]),
+    )

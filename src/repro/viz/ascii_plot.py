@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from repro.analysis.regions import Region, RegionMap
-from repro.exceptions import ConfigurationError
 
 #: One display character per region.
 REGION_CHARS: Mapping[Region, str] = {
@@ -63,9 +62,23 @@ def render_series(
     y_label: str = "y",
     title: Optional[str] = None,
 ) -> str:
-    """Render an (x, y) series as a crude ASCII scatter/line chart."""
+    """Render an (x, y) series as a crude ASCII scatter/line chart.
+
+    An empty series renders a labeled empty frame (same dimensions, a
+    ``(no data)`` note) rather than raising: callers plotting measured
+    data — e.g. latency histograms of a run where every request failed
+    — get a well-formed chart either way.  A constant series collapses
+    to a single row/column.
+    """
     if not series:
-        raise ConfigurationError("cannot plot an empty series")
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(f"{y_label} (no data)")
+        lines.extend("|" + " " * width for _ in range(height))
+        lines.append("+" + "-" * width)
+        lines.append(f" {x_label}: (no data)")
+        return "\n".join(lines)
     xs = [x for x, _ in series]
     ys = [y for _, y in series]
     x_min, x_max = min(xs), max(xs)

@@ -1,0 +1,145 @@
+"""Integration: the live cluster's headline correctness claim.
+
+For any replayed trace, the live cluster's aggregated control/data
+message and I/O counts must equal — bit for bit — the stepped
+algorithm's accounting, the discrete-event simulator's counters, and
+the vectorized kernel's unit-priced totals.  With and without injected
+transport delays: delays reorder deliveries in wall-clock time but a
+closed-loop replay is still the paper's totally-ordered schedule, so
+nothing about the counts may change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterSpec,
+    FaultPlan,
+    replay_schedule,
+    start_local_cluster,
+)
+from repro.core.dynamic_allocation import DynamicAllocation
+from repro.core.static_allocation import StaticAllocation
+from repro.distsim.runner import run_protocol
+from repro.kernel.dispatch import schedule_breakdown
+from repro.model.cost_model import mobile, stationary
+from repro.workloads.uniform import UniformWorkload
+
+PROCESSORS = (1, 2, 3)
+SCHEME = frozenset({1, 2})
+PRIMARY = 2
+
+#: The acceptance-sized trace: >= 500 requests over three processors.
+TRACE = UniformWorkload(PROCESSORS, 500, 0.3).generate(101)
+
+
+def live_stats(protocol: str, schedule, fault_plan=None):
+    """Replay a schedule against a fresh in-process cluster."""
+
+    async def drive():
+        spec = ClusterSpec(
+            processors=PROCESSORS,
+            scheme=SCHEME,
+            protocol=protocol,
+            primary=PRIMARY,
+        )
+        cluster = await start_local_cluster(spec)
+        client = ClusterClient(cluster.addresses)
+        try:
+            if fault_plan is not None:
+                await cluster.set_fault_plan(fault_plan)
+            result = await replay_schedule(
+                client, schedule, check_freshness=True
+            )
+            result.raise_on_errors()
+            return await cluster.aggregate_stats()
+        finally:
+            await client.close()
+            await cluster.stop()
+
+    return asyncio.run(drive())
+
+
+def stepped_algorithm(protocol: str):
+    if protocol == "SA":
+        return StaticAllocation(SCHEME)
+    return DynamicAllocation(SCHEME, primary=PRIMARY)
+
+
+class TestEndToEndParity:
+    """The acceptance test of the live-cluster subsystem."""
+
+    @pytest.mark.parametrize("protocol", ["SA", "DA"])
+    @pytest.mark.parametrize(
+        "fault_plan",
+        [None, FaultPlan(default_delay=0.0005)],
+        ids=["no-delay", "delayed"],
+    )
+    def test_live_counts_match_all_realizations(self, protocol, fault_plan):
+        stats = live_stats(protocol, TRACE, fault_plan)
+        live = stats.breakdown()
+
+        algorithm = stepped_algorithm(protocol)
+        stepped = algorithm.run(TRACE).total_breakdown()
+        simulated = run_protocol(
+            protocol, TRACE, SCHEME, primary=PRIMARY
+        ).breakdown()
+        kernel = schedule_breakdown(stepped_algorithm(protocol), TRACE)
+
+        assert live == stepped
+        assert live == simulated
+        assert live == kernel
+        assert stats.requests_completed == len(TRACE)
+        assert stats.dropped_messages == 0
+
+    @pytest.mark.parametrize("protocol", ["SA", "DA"])
+    def test_priced_costs_match_under_both_models(self, protocol):
+        """The breakdown parity lifts to every (c_io, c_c, c_d) point."""
+        schedule = TRACE[:120]
+        live = live_stats(protocol, schedule).breakdown()
+        stepped = stepped_algorithm(protocol).run(schedule).total_breakdown()
+        for model in (stationary(0.2, 1.5), mobile(0.4, 2.0)):
+            assert model.price(live) == pytest.approx(model.price(stepped))
+
+    def test_da_writes_restart_join_lists_like_the_model(self):
+        """A write-heavy trace exercises the join-list walk on every
+        core member; counts must still agree everywhere."""
+        schedule = UniformWorkload(PROCESSORS, 200, 0.7).generate(23)
+        for protocol in ("SA", "DA"):
+            live = live_stats(protocol, schedule).breakdown()
+            stepped = (
+                stepped_algorithm(protocol).run(schedule).total_breakdown()
+            )
+            assert live == stepped
+
+    def test_wider_scheme_and_more_processors(self):
+        """t=3 over five processors: outsiders join and get invalidated."""
+        processors = (1, 2, 3, 4, 5)
+        scheme = frozenset({1, 2, 3})
+        schedule = UniformWorkload(processors, 150, 0.3).generate(7)
+
+        async def drive(protocol):
+            spec = ClusterSpec(
+                processors=processors, scheme=scheme,
+                protocol=protocol, primary=3,
+            )
+            cluster = await start_local_cluster(spec)
+            client = ClusterClient(cluster.addresses)
+            try:
+                result = await replay_schedule(client, schedule)
+                result.raise_on_errors()
+                return await cluster.aggregate_stats()
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        for protocol, algorithm in (
+            ("SA", StaticAllocation(scheme)),
+            ("DA", DynamicAllocation(scheme, primary=3)),
+        ):
+            live = asyncio.run(drive(protocol)).breakdown()
+            assert live == algorithm.run(schedule).total_breakdown()

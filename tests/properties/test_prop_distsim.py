@@ -8,6 +8,7 @@ global statistics.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 
 from repro.core.dynamic_allocation import DynamicAllocation
@@ -15,6 +16,7 @@ from repro.core.static_allocation import StaticAllocation
 from repro.distsim.protocols.da_protocol import DynamicAllocationProtocol
 from repro.distsim.protocols.sa_protocol import StaticAllocationProtocol
 from repro.distsim.runner import build_network, compare_with_model, mismatches
+from repro.model.cost_model import mobile, stationary
 from tests.properties.strategies import schedules
 
 SCHEME = frozenset({1, 2})
@@ -77,3 +79,25 @@ def test_da_protocol_scheme_tracks_model_scheme(schedule):
             if network.node(node_id).holds_valid_copy
         }
         assert holders == algorithm.current_scheme
+
+
+@pytest.mark.parametrize("t", [2, 3, 4])
+@given(schedule=schedules())
+@settings(max_examples=25, deadline=None)
+def test_da_final_scheme_matches_model_for_every_t(t, schedule):
+    """The protocol's final allocation scheme equals the stepped core
+    algorithm's for any window size t, and the agreement prices out
+    identically under both the stationary (SC) and mobile (MC) models."""
+    scheme = frozenset(range(1, t + 1))
+    network = build_network(ALL_NODES)
+    protocol = DynamicAllocationProtocol(network, scheme, primary=t)
+    algorithm = DynamicAllocation(scheme, primary=t)
+    protocol.execute(schedule)
+    result = algorithm.run(schedule)
+
+    assert protocol.current_scheme() == algorithm.current_scheme
+
+    live = network.stats.breakdown()
+    stepped = result.total_breakdown()
+    for model in (stationary(0.25, 1.0), mobile(0.5, 2.0)):
+        assert model.price(live) == pytest.approx(model.price(stepped))

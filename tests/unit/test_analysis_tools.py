@@ -142,9 +142,21 @@ class TestViz:
         assert "ratios" in text
         assert "*" in text
 
-    def test_series_rejects_empty(self):
-        with pytest.raises(ConfigurationError):
-            render_series([])
+    def test_empty_series_renders_labeled_frame(self):
+        text = render_series(
+            [], width=20, height=5, x_label="lat", y_label="req",
+            title="empty",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "empty"
+        assert "req (no data)" in text
+        assert "lat: (no data)" in text
+        # Same frame shape as a populated chart: title + y label +
+        # `height` canvas rows + axis + x label.
+        assert len(lines) == 5 + 4
+        assert all(line.startswith("|") for line in lines[2:7])
+        assert lines[7] == "+" + "-" * 20
+        assert "*" not in text
 
     def test_region_map_csv(self):
         csv_text = region_map_to_csv(theoretical_map(steps=3))

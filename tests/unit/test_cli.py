@@ -101,6 +101,64 @@ class TestSimulate:
         assert "control messages" in out
         assert "priced cost" in out
 
+    def test_seeded_workload_is_reproducible(self, capsys):
+        seeded = (
+            "simulate", "--seed", "11", "--processors", "4",
+            "--length", "40", "--protocol", "DA",
+        )
+        code_a, out_a, _ = run_cli(capsys, *seeded)
+        code_b, out_b, _ = run_cli(capsys, *seeded)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_different_seeds_differ(self, capsys):
+        base = ("simulate", "--processors", "4", "--length", "40")
+        _, out_a, _ = run_cli(capsys, *base, "--seed", "11")
+        _, out_b, _ = run_cli(capsys, *base, "--seed", "12")
+        assert out_a != out_b
+
+    def test_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("r3 w1 r3 r2\n")
+        code, out, _ = run_cli(
+            capsys, "simulate", "--trace", str(path), "--protocol", "SA"
+        )
+        assert code == 0
+        assert "control messages" in out
+
+
+class TestClusterCLI:
+    def test_run_check_parity(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "cluster", "run", "--protocol", "DA", "--nodes", "3",
+            "--seed", "7", "--length", "30", "--write-fraction", "0.25",
+            "--check-parity",
+        )
+        assert code == 0
+        assert "parity OK" in out
+        assert "node" in out  # the per-node metrics table
+
+    def test_run_check_parity_with_delay(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "cluster", "run", "--protocol", "SA", "--nodes", "3",
+            "--seed", "3", "--length", "20", "--delay-ms", "1",
+            "--check-parity",
+        )
+        assert code == 0
+        assert "with injected delays" in out
+
+    def test_bench_reports_throughput(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "cluster", "bench", "--protocol", "DA", "--nodes", "3",
+            "--count", "30", "--rate", "500", "--seed", "2",
+        )
+        assert code == 0
+        assert "req/s" in out
+        assert "p95" in out
+
 
 class TestWorkload:
     def test_stdout_trace(self, capsys):

@@ -1,0 +1,200 @@
+"""Unit: the live cluster's wire format (framing + message codec)."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.cluster.rpc import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    message_to_wire,
+    read_frame,
+    version_from_wire,
+    version_to_wire,
+    wire_to_message,
+    write_frame,
+)
+from repro.cluster.transport import Address
+from repro.distsim.messages import (
+    Ack,
+    DataTransfer,
+    Invalidate,
+    ReadRequest,
+    VersionInquiry,
+    VersionReport,
+)
+from repro.exceptions import ClusterError
+from repro.storage.versions import ObjectVersion
+
+
+def read_all_frames(data: bytes) -> list:
+    """Feed bytes into a StreamReader and drain every frame from it.
+
+    The reader is built inside the coroutine: asyncio streams must be
+    created while a loop is running."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        seen = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return seen
+            seen.append(frame)
+
+    return asyncio.run(go())
+
+
+def read_one_frame(data: bytes):
+    frames = read_all_frames(data)
+    return frames[0] if frames else None
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"type": "ping", "nested": {"a": [1, 2, 3]}}
+        assert read_one_frame(encode_frame(payload)) == payload
+
+    def test_multiple_frames_in_one_stream(self):
+        frames = [{"type": "ping", "n": n} for n in range(3)]
+        data = b"".join(encode_frame(frame) for frame in frames)
+        assert read_all_frames(data) == frames
+
+    def test_clean_eof_returns_none(self):
+        assert read_one_frame(b"") is None
+
+    def test_mid_header_truncation_raises(self):
+        with pytest.raises(ClusterError, match="mid-header"):
+            read_one_frame(b"\x00\x00")
+
+    def test_mid_frame_truncation_raises(self):
+        with pytest.raises(ClusterError, match="mid-frame"):
+            read_one_frame(encode_frame({"type": "ping"})[:-2])
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(ClusterError, match="exceeds"):
+            read_one_frame(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_malformed_json_rejected(self):
+        body = b"{not json"
+        with pytest.raises(ClusterError, match="malformed"):
+            read_one_frame(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ClusterError, match="'type'"):
+            read_one_frame(struct.pack(">I", len(body)) + body)
+
+    def test_typeless_object_rejected(self):
+        body = b'{"a":1}'
+        with pytest.raises(ClusterError, match="'type'"):
+            read_one_frame(struct.pack(">I", len(body)) + body)
+
+    def test_write_frame_is_deterministic(self):
+        left = encode_frame({"b": 1, "a": 2, "type": "x"})
+        right = encode_frame({"a": 2, "type": "x", "b": 1})
+        assert left == right  # sorted keys: byte-stable on the wire
+
+    def test_write_frame_to_stream(self):
+        transcript = bytearray()
+
+        class FakeWriter:
+            def write(self, data):
+                transcript.extend(data)
+
+            async def drain(self):
+                pass
+
+        asyncio.run(write_frame(FakeWriter(), {"type": "ping"}))
+        assert read_one_frame(bytes(transcript)) == {"type": "ping"}
+
+
+class TestVersionCodec:
+    def test_round_trip(self):
+        version = ObjectVersion(7, 3, payload="blob")
+        assert version_from_wire(version_to_wire(version)) == version
+
+    def test_payload_free_round_trip(self):
+        version = ObjectVersion(0, 1)
+        wire = version_to_wire(version)
+        assert "payload" not in wire
+        assert version_from_wire(wire) == version
+
+    def test_none_passes_through(self):
+        assert version_to_wire(None) is None
+        assert version_from_wire(None) is None
+
+
+MESSAGES = [
+    ReadRequest(4, 1, request_id=9),
+    Invalidate(2, 5, version_number=3, request_id=11),
+    Ack(1, 2, request_id=4, info="joined"),
+    Ack(1, 2, request_id=4),
+    VersionInquiry(3, 1, request_id=6),
+    VersionReport(1, 3, request_id=6, version_number=8, holds_copy=True),
+    DataTransfer(
+        1, 4, version=ObjectVersion(2, 1), request_id=7, save_copy=True
+    ),
+    DataTransfer(
+        1, 4, version=ObjectVersion(2, 1), request_id=7, save_copy=False
+    ),
+]
+
+
+class TestMessageCodec:
+    @pytest.mark.parametrize(
+        "message", MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_round_trip(self, message):
+        wire = message_to_wire(message)
+        assert wire["type"] == "msg"
+        assert wire_to_message(wire) == message
+
+    def test_wire_form_is_json_clean(self):
+        import json
+
+        for message in MESSAGES:
+            json.dumps(message_to_wire(message))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ClusterError, match="unknown protocol message"):
+            wire_to_message({"type": "msg", "kind": "gossip"})
+
+    def test_unregistered_type_rejected(self):
+        class Exotic(ReadRequest):
+            pass
+
+        with pytest.raises(ClusterError, match="no wire encoding"):
+            message_to_wire(Exotic(1, 2))
+
+
+class TestAddress:
+    def test_tcp_render_parse(self):
+        address = Address("tcp", host="127.0.0.1", port=4001)
+        assert address.render() == "tcp:127.0.0.1:4001"
+        assert Address.parse(address.render()) == address
+
+    def test_unix_render_parse(self):
+        address = Address("unix", path="/tmp/node-1.sock")
+        assert address.render() == "unix:/tmp/node-1.sock"
+        assert Address.parse(address.render()) == address
+
+    @pytest.mark.parametrize(
+        "text", ["", "tcp:", "tcp:host:", "tcp:host:notaport", "unix:", "smoke:1"]
+    )
+    def test_garbage_rejected(self, text):
+        with pytest.raises(ClusterError):
+            Address.parse(text)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ClusterError):
+            Address("carrier-pigeon")
+
+    def test_unix_requires_path(self):
+        with pytest.raises(ClusterError):
+            Address("unix")

@@ -1,0 +1,183 @@
+"""Unit: fault plans, per-node metrics and their aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import (
+    NodeMetrics,
+    aggregate,
+    latency_histogram,
+    percentile,
+)
+from repro.cluster.transport import FaultPlan
+from repro.distsim.messages import DataTransfer, Invalidate, ReadRequest
+from repro.exceptions import ClusterError
+from repro.storage.versions import ObjectVersion
+
+
+class TestFaultPlan:
+    def test_defaults_do_nothing(self):
+        plan = FaultPlan()
+        assert plan.delay_for(1, 2) == 0.0
+        assert not plan.should_drop(1, 2)
+
+    def test_link_delay_overrides_default(self):
+        plan = FaultPlan(default_delay=0.5, link_delays={(1, 2): 0.1})
+        assert plan.delay_for(1, 2) == 0.1
+        assert plan.delay_for(2, 1) == 0.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClusterError):
+            FaultPlan(default_delay=-1.0)
+        with pytest.raises(ClusterError):
+            FaultPlan(link_delays={(1, 2): -0.1})
+
+    def test_drop_next_consumes_budget(self):
+        plan = FaultPlan(drop_next={(1, 2): 2})
+        assert plan.should_drop(1, 2)
+        assert plan.should_drop(1, 2)
+        assert not plan.should_drop(1, 2)  # budget spent
+        assert not plan.should_drop(2, 1)  # other direction untouched
+
+    def test_blocked_link_is_directional(self):
+        plan = FaultPlan(blocked_links=frozenset({(1, 2)}))
+        assert plan.should_drop(1, 2)
+        assert not plan.should_drop(2, 1)
+
+    def test_partition_drops_across_groups_only(self):
+        plan = FaultPlan(
+            partitions=(frozenset({1, 2}), frozenset({3}))
+        )
+        assert not plan.crosses_partition(1, 2)
+        assert plan.crosses_partition(1, 3)
+        assert plan.should_drop(2, 3)
+        assert not plan.should_drop(2, 1)
+
+    def test_unlisted_nodes_are_islands(self):
+        plan = FaultPlan(partitions=(frozenset({1, 2}),))
+        assert plan.crosses_partition(1, 4)
+        assert plan.crosses_partition(4, 5)  # two islands differ too
+
+    def test_probabilistic_drop_is_seed_deterministic(self):
+        def draw(seed):
+            plan = FaultPlan(drop_probability=0.5, seed=seed)
+            return tuple(plan.should_drop(1, 2) for _ in range(32))
+
+        decisions = [draw(7), draw(7)]
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ClusterError):
+            FaultPlan(drop_probability=1.5)
+
+    def test_wire_round_trip(self):
+        plan = FaultPlan(
+            default_delay=0.01,
+            link_delays={(1, 2): 0.2},
+            blocked_links=frozenset({(2, 3)}),
+            drop_next={(3, 1): 4},
+            drop_probability=0.25,
+            seed=9,
+            partitions=(frozenset({1}), frozenset({2, 3})),
+        )
+        clone = FaultPlan.from_wire(plan.to_wire())
+        assert clone.default_delay == plan.default_delay
+        assert clone.link_delays == plan.link_delays
+        assert clone.blocked_links == plan.blocked_links
+        assert clone.drop_next == plan.drop_next
+        assert clone.drop_probability == plan.drop_probability
+        assert clone.seed == plan.seed
+        assert clone.partitions == plan.partitions
+
+    def test_wire_form_is_json_clean(self):
+        import json
+
+        plan = FaultPlan(
+            link_delays={(1, 2): 0.2}, partitions=(frozenset({1, 2}),)
+        )
+        json.dumps(plan.to_wire())
+
+
+class TestNodeMetrics:
+    def test_charges_by_message_class(self):
+        metrics = NodeMetrics(node_id=1)
+        metrics.charge_message(ReadRequest(1, 2, request_id=1))
+        metrics.charge_message(Invalidate(1, 3, request_id=1))
+        metrics.charge_message(
+            DataTransfer(1, 2, version=ObjectVersion(1, 1), request_id=2)
+        )
+        assert metrics.control_sent == 2
+        assert metrics.data_sent == 1
+
+    def test_wire_round_trip(self):
+        metrics = NodeMetrics(
+            node_id=4,
+            control_sent=3,
+            data_sent=2,
+            io_reads=5,
+            io_writes=6,
+            dropped_messages=1,
+            requests_completed=7,
+            request_errors=1,
+            latencies=[0.5, 0.25],
+        )
+        assert NodeMetrics.from_wire(metrics.to_wire()) == metrics
+
+    def test_aggregate_sums_counters_in_node_order(self):
+        one = NodeMetrics(1, control_sent=1, data_sent=2, io_reads=3,
+                          io_writes=4, requests_completed=5,
+                          latencies=[0.1])
+        two = NodeMetrics(2, control_sent=10, data_sent=20, io_reads=30,
+                          io_writes=40, dropped_messages=2,
+                          requests_completed=50, latencies=[0.2, 0.3])
+        stats = aggregate([two, one])  # order-insensitive input
+        assert stats.control_messages == 11
+        assert stats.data_messages == 22
+        assert stats.io_reads == 33
+        assert stats.io_writes == 44
+        assert stats.dropped_messages == 2
+        assert stats.requests_completed == 55
+        assert stats.latencies == [0.1, 0.2, 0.3]  # node-id order
+
+    def test_aggregate_breakdown_bridges_to_model_types(self):
+        stats = aggregate([NodeMetrics(1, control_sent=2, data_sent=1,
+                                       io_reads=3, io_writes=1)])
+        breakdown = stats.breakdown()
+        assert breakdown.io_ops == 4
+        assert breakdown.control_messages == 2
+        assert breakdown.data_messages == 1
+
+
+class TestLatencyStatistics:
+    def test_empty_series_yields_no_buckets(self):
+        assert latency_histogram([]) == []
+
+    def test_constant_series_collapses_to_one_bucket(self):
+        assert latency_histogram([0.5, 0.5, 0.5]) == [(0.5, 3)]
+
+    def test_counts_partition_the_series(self):
+        values = [i / 10 for i in range(20)]
+        histogram = latency_histogram(values, buckets=4)
+        assert len(histogram) == 4
+        assert sum(count for _, count in histogram) == len(values)
+        uppers = [upper for upper, _ in histogram]
+        assert uppers == sorted(uppers)
+
+    def test_bucket_count_validated(self):
+        with pytest.raises(ValueError):
+            latency_histogram([1.0], buckets=0)
+
+    def test_percentiles(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.5) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
