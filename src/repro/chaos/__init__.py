@@ -1,0 +1,38 @@
+"""Seeded chaos testing for the live cluster.
+
+The harness generates a deterministic fault schedule from a seed
+(crashes with recoveries, probabilistic drops, deterministic drop
+bursts, one or more partitions), replays a seeded workload against a
+resilient cluster while the schedule fires, runs a
+:class:`~repro.cluster.resilience.SchemeRepairer` round after every
+fault event, and checks invariants the paper's model implies:
+
+* **read freshness** — a successful read returns the latest
+  acknowledged version, or an issued-but-unacknowledged newer one;
+* **no lost acknowledged writes** — the freshness rule applied to a
+  final fault-free sweep over every node;
+* **t-availability** — after each repair round at least ``t`` live
+  reachable processors hold a valid copy;
+* **join-list consistency** (DA) — every live non-core holder of a
+  valid copy is recorded in some live core member's join-list, so a
+  future write will invalidate it.
+
+Everything is derived from the seed, so a failing run can be replayed
+exactly (``repro chaos --seed N``); wall-clock timings differ between
+runs, the schedule, workload and fault decisions do not.
+"""
+
+from repro.chaos.harness import ChaosConfig, ChaosResult, run_chaos
+from repro.chaos.invariants import InvariantTracker, Violation
+from repro.chaos.plan import ChaosPlan, FaultEvent, generate_plan
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosPlan",
+    "ChaosResult",
+    "FaultEvent",
+    "InvariantTracker",
+    "Violation",
+    "generate_plan",
+    "run_chaos",
+]

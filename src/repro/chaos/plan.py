@@ -1,0 +1,221 @@
+"""Deterministic fault schedules for chaos runs.
+
+A :class:`ChaosPlan` is a pure function of its parameters and seed: the
+same seed always yields the same events at the same request indices, so
+a violating run replays exactly.  The generator enforces the
+constraints under which the repair protocol can keep the paper's
+``t``-availability invariant *inductively* (a repair round runs after
+every event, so each constraint only needs to hold one event at a
+time):
+
+* at most ``t - 1`` processors are crashed concurrently, and at least
+  one core member (DA) / scheme member stays up, so a donor with the
+  latest version always survives;
+* every crash is paired with a recovery later in the schedule;
+* crashes and recoveries never fire inside a partition window, and
+  partition windows never overlap;
+* the partition's majority group contains the whole launch scheme and
+  the primary, so reads stay serviceable on the majority side (writes
+  may still be rejected degraded — that is behavior, not violation);
+* deterministic drop bursts never exceed ``attempts - 1`` messages, so
+  a retrying sender always gets one attempt through.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ClusterError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, applied *before* request ``at`` is issued.
+
+    ``kind`` is one of ``crash`` / ``recover`` (``node`` set),
+    ``partition`` / ``heal`` (``groups`` set for ``partition``), or
+    ``drops`` (``budgets`` maps directed links to drop-next counts).
+    """
+
+    at: int
+    kind: str
+    node: Optional[int] = None
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    budgets: Tuple[Tuple[int, int, int], ...] = ()
+
+    def describe(self) -> str:
+        if self.kind in ("crash", "recover"):
+            return f"@{self.at} {self.kind} node {self.node}"
+        if self.kind == "partition":
+            rendered = " | ".join(str(list(group)) for group in self.groups)
+            return f"@{self.at} partition {rendered}"
+        if self.kind == "heal":
+            return f"@{self.at} heal partition"
+        links = ", ".join(f"{s}->{r}x{n}" for s, r, n in self.budgets)
+        return f"@{self.at} drop bursts {links}"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A complete, replayable chaos schedule."""
+
+    seed: int
+    protocol: str
+    processors: Tuple[int, ...]
+    scheme: Tuple[int, ...]
+    primary: int
+    requests: int
+    write_fraction: float
+    drop_probability: float
+    events: Tuple[FaultEvent, ...] = ()
+
+    def events_at(self, index: int) -> List[FaultEvent]:
+        return [event for event in self.events if event.at == index]
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos plan (seed {self.seed}): {self.protocol} on "
+            f"{len(self.processors)} nodes, scheme {list(self.scheme)}, "
+            f"primary {self.primary}, {self.requests} requests, "
+            f"p(drop)={self.drop_probability}",
+        ]
+        lines += ["  " + event.describe() for event in self.events]
+        return "\n".join(lines)
+
+
+def _inside(index: int, windows: Sequence[Tuple[int, int]]) -> bool:
+    return any(start <= index <= end for start, end in windows)
+
+
+def generate_plan(
+    protocol: str,
+    processors: Sequence[int],
+    scheme: Sequence[int],
+    primary: int,
+    requests: int,
+    write_fraction: float,
+    seed: int,
+    crashes: Optional[int] = None,
+    partitions: int = 1,
+    drop_bursts: Optional[int] = None,
+    drop_probability: float = 0.02,
+    attempts: int = 4,
+) -> ChaosPlan:
+    """Derive a fault schedule from a seed under the safety constraints."""
+    processors = tuple(sorted(int(p) for p in processors))
+    scheme_t = tuple(sorted(int(p) for p in scheme))
+    if requests < 20:
+        raise ClusterError("a chaos run needs at least 20 requests")
+    if primary not in scheme_t:
+        raise ClusterError(f"primary {primary} is not in scheme {scheme_t}")
+    t = len(scheme_t)
+    core = tuple(p for p in scheme_t if p != primary)
+    rng = random.Random(seed)
+    if crashes is None:
+        crashes = max(2, requests // 80)
+    if drop_bursts is None:
+        drop_bursts = max(2, requests // 60)
+
+    events: List[FaultEvent] = []
+
+    # Partition windows first (crash intervals must avoid them).  The
+    # minority side is carved out of the non-scheme processors, so the
+    # majority keeps the scheme and the primary.
+    windows: List[Tuple[int, int]] = []
+    outside = [p for p in processors if p not in scheme_t]
+    if partitions > 0 and outside:
+        span = requests // (2 * partitions + 1)
+        for index in range(partitions):
+            if span < 6:
+                break
+            start = (2 * index + 1) * span + rng.randrange(max(1, span // 3))
+            end = min(start + max(4, span // 2), requests - 2)
+            if start >= end:
+                continue
+            minority_size = rng.randint(1, max(1, len(outside) // 2))
+            minority = tuple(sorted(rng.sample(outside, minority_size)))
+            majority = tuple(
+                sorted(p for p in processors if p not in minority)
+            )
+            windows.append((start, end))
+            events.append(
+                FaultEvent(at=start, kind="partition", groups=(majority, minority))
+            )
+            events.append(FaultEvent(at=end, kind="heal"))
+
+    # Crash/recovery pairs outside the partition windows.  Track crash
+    # intervals so concurrency stays under t and a core member survives.
+    intervals: List[Tuple[int, int, int]] = []  # (start, end, node)
+
+    def concurrent(start: int, end: int) -> List[int]:
+        return [
+            node
+            for s, e, node in intervals
+            if not (e < start or s > end)
+        ]
+
+    for _ in range(crashes):
+        for _ in range(64):  # placement attempts for this crash
+            start = rng.randint(2, max(2, requests - 12))
+            length = rng.randint(4, 10)
+            end = min(start + length, requests - 2)
+            if _inside(start, windows) or _inside(end, windows):
+                continue
+            if any(_inside(i, windows) for i in range(start, end + 1)):
+                continue
+            overlapping = concurrent(start, end)
+            if len(overlapping) >= t - 1:
+                continue
+            down = set(overlapping)
+            # Keep at least one core member up (DA stays serviceable)
+            # and never let the whole scheme be down at once.
+            candidates = [
+                node
+                for node in processors
+                if node not in down
+                and bool(set(core) - down - {node})
+                and bool(set(scheme_t) - down - {node})
+            ]
+            if not candidates:
+                continue
+            victim = rng.choice(candidates)
+            intervals.append((start, end, victim))
+            events.append(FaultEvent(at=start, kind="crash", node=victim))
+            events.append(FaultEvent(at=end, kind="recover", node=victim))
+            break
+
+    # Deterministic drop bursts: small budgets on random links, always
+    # retryable within the sender's attempt budget.
+    for _ in range(drop_bursts):
+        at = rng.randint(2, requests - 1)
+        count = rng.randint(1, 3)
+        budgets: Dict[Tuple[int, int], int] = {}
+        for _ in range(count):
+            sender, receiver = rng.sample(processors, 2)
+            budgets[(sender, receiver)] = rng.randint(
+                1, max(1, attempts - 1)
+            )
+        events.append(
+            FaultEvent(
+                at=at,
+                kind="drops",
+                budgets=tuple(
+                    (s, r, n) for (s, r), n in sorted(budgets.items())
+                ),
+            )
+        )
+
+    events.sort(key=lambda event: (event.at, event.kind, event.node or 0))
+    return ChaosPlan(
+        seed=seed,
+        protocol=protocol.strip().upper(),
+        processors=processors,
+        scheme=scheme_t,
+        primary=primary,
+        requests=requests,
+        write_fraction=write_fraction,
+        drop_probability=drop_probability,
+        events=tuple(events),
+    )

@@ -32,8 +32,13 @@ Subcommands
 ``repro cluster``    live asyncio replica cluster: ``serve`` one node,
                      ``run`` a schedule against N nodes over real
                      sockets (``--check-parity`` verifies live counts
-                     against the stepped model and the simulator), or
-                     ``bench`` it with open-loop Poisson load.
+                     against the stepped model and the simulator, and
+                     ``--resilient`` adds retry/dedup fault tolerance),
+                     or ``bench`` it with open-loop Poisson load.
+``repro chaos``      seeded fault injection against a live cluster:
+                     crashes with repair, message drops, partitions —
+                     replayable from a seed, exits non-zero on any
+                     invariant violation (see docs/chaos.md).
 
 Every command writes plain text to stdout; ``repro workload --out``
 writes a trace file loadable with ``repro compare --trace``.
@@ -74,6 +79,7 @@ from repro.analysis.regions import (
 )
 from repro.analysis.report import format_mapping, format_table
 from repro.analysis.sweep import sweep
+from repro.chaos.commands import add_chaos_parser
 from repro.cluster.commands import add_cluster_parser
 from repro.core.competitive import CompetitivenessHarness
 from repro.core.factory import ALGORITHM_NAMES, algorithm_factory, make_algorithm
@@ -696,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.set_defaults(handler=cmd_calibrate)
 
     add_cluster_parser(subparsers, _scheme)
+    add_chaos_parser(subparsers)
 
     return parser
 

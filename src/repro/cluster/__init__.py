@@ -9,6 +9,13 @@ invariant — asserted end-to-end in ``tests/integration`` — is that a
 replayed trace produces *bit-identical* message and I/O totals across
 all three realizations.
 
+Fault tolerance is opt-in (:class:`~repro.cluster.resilience.RetryPolicy`
+on the spec / ``--resilient`` on the CLI): at-least-once retries with
+node-side dedup, read failover, typed degraded-write rejection, and a
+:class:`~repro.cluster.resilience.SchemeRepairer` that restores the
+paper's ``t``-availability after crashes.  Fault-free runs stay
+bit-identical with or without it.  See ``docs/chaos.md``.
+
 See ``docs/cluster.md`` for the architecture and wire format.
 """
 
@@ -28,13 +35,24 @@ from repro.cluster.loadgen import (
     poisson_load,
     replay_schedule,
 )
-from repro.cluster.metrics import NodeMetrics, aggregate, latency_histogram
+from repro.cluster.metrics import (
+    NodeMetrics,
+    aggregate,
+    latency_histogram,
+    resilience_totals,
+)
 from repro.cluster.node import NodeConfig, NodeServer
 from repro.cluster.protocol import (
     LiveDynamicAllocation,
     LiveProtocol,
     LiveStaticAllocation,
     make_live_protocol,
+)
+from repro.cluster.resilience import (
+    DedupCache,
+    RepairReport,
+    RetryPolicy,
+    SchemeRepairer,
 )
 from repro.cluster.transport import Address, FaultPlan, PeerTransport
 
@@ -43,6 +61,7 @@ __all__ = [
     "ClusterClient",
     "ClusterHandle",
     "ClusterSpec",
+    "DedupCache",
     "FaultPlan",
     "LiveDynamicAllocation",
     "LiveProtocol",
@@ -53,11 +72,15 @@ __all__ = [
     "NodeMetrics",
     "NodeServer",
     "PeerTransport",
+    "RepairReport",
     "RequestOutcome",
+    "RetryPolicy",
+    "SchemeRepairer",
     "SubprocessCluster",
     "aggregate",
     "latency_histogram",
     "make_live_protocol",
+    "resilience_totals",
     "poisson_load",
     "replay_schedule",
     "start_cluster",

@@ -32,8 +32,9 @@ from repro.cluster.loadgen import (
     replay_schedule,
     route_check,
 )
-from repro.cluster.metrics import latency_histogram, percentile
+from repro.cluster.metrics import latency_histogram, percentile, resilience_totals
 from repro.cluster.node import NodeConfig, NodeServer
+from repro.cluster.resilience import RetryPolicy
 from repro.cluster.transport import Address, FaultPlan
 from repro.core.dynamic_allocation import DynamicAllocation
 from repro.core.static_allocation import StaticAllocation
@@ -92,6 +93,9 @@ def _cluster_spec(args, schedule=None) -> ClusterSpec:
     processors = set(range(1, args.nodes + 1)) | set(args.scheme)
     if schedule is not None:
         processors |= set(request.processor for request in schedule)
+    resilience = None
+    if getattr(args, "resilient", False):
+        resilience = RetryPolicy(seed=getattr(args, "seed", 0))
     return ClusterSpec(
         processors=tuple(sorted(processors)),
         scheme=args.scheme,
@@ -99,6 +103,7 @@ def _cluster_spec(args, schedule=None) -> ClusterSpec:
         primary=args.primary,
         transport=args.transport,
         exec_timeout=args.exec_timeout,
+        resilience=resilience,
     )
 
 
@@ -136,7 +141,7 @@ def cmd_cluster_run(args) -> int:
 
     async def drive():
         cluster = await start_cluster(spec, subprocesses=args.subprocess)
-        client = ClusterClient(cluster.addresses)
+        client = ClusterClient(cluster.addresses, retry=spec.resilience)
         try:
             if faulted:
                 await cluster.set_fault_plan(
@@ -174,6 +179,14 @@ def cmd_cluster_run(args) -> int:
             title=f"Live cluster replay of {len(schedule)} requests",
         )
     )
+    if spec.resilience is not None:
+        print()
+        print(
+            format_mapping(
+                resilience_totals(per_node.values()),
+                title="Resilience counters (kept out of charged totals)",
+            )
+        )
     if args.latency_plot:
         print()
         print(
@@ -218,7 +231,7 @@ def cmd_cluster_bench(args) -> int:
 
     async def drive():
         cluster = await start_cluster(spec, subprocesses=args.subprocess)
-        client = ClusterClient(cluster.addresses)
+        client = ClusterClient(cluster.addresses, retry=spec.resilience)
         try:
             if args.delay_ms > 0:
                 await cluster.set_fault_plan(
@@ -324,6 +337,11 @@ def add_cluster_parser(subparsers, scheme_type) -> None:
             parser.add_argument(
                 "--latency-plot", action="store_true",
                 help="ASCII histogram of client-observed latencies",
+            )
+            parser.add_argument(
+                "--resilient", action="store_true",
+                help="install retry/dedup fault tolerance (fault-free "
+                     "runs stay bit-identical; see docs/chaos.md)",
             )
 
     serve = leaves.add_parser("serve", help="run one node in the foreground")

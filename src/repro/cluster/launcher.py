@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cluster.metrics import NodeMetrics, aggregate
 from repro.cluster.node import NodeConfig, NodeServer
+from repro.cluster.resilience import RetryPolicy
 from repro.cluster.rpc import read_frame, write_frame
 from repro.cluster.transport import Address, FaultPlan, open_channel
 from repro.distsim.statistics import SimulationStats
@@ -67,6 +68,10 @@ class ClusterSpec:
     primary: Optional[int] = None
     transport: str = "auto"
     exec_timeout: float = 15.0
+    #: Opt-in fault tolerance: ``None`` (the default) launches nodes
+    #: that behave byte-identically to clusters without the resilience
+    #: layer — the fault-free parity contract.
+    resilience: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         self.processors = tuple(sorted(set(int(p) for p in self.processors)))
@@ -87,6 +92,7 @@ class ClusterSpec:
             primary=self.primary,
             address=address,
             exec_timeout=self.exec_timeout,
+            resilience=self.resilience,
         )
 
 
@@ -130,12 +136,25 @@ class ClusterHandle:
             self._admin[node_id] = await open_channel(self.addresses[node_id])
         return self._admin[node_id]
 
+    def _drop_channel(self, node_id: int) -> None:
+        """Evict a broken admin channel so the next call redials."""
+        entry = self._admin.pop(node_id, None)
+        if entry is not None:
+            entry[1].close()
+
     async def admin(self, node_id: int, payload: Mapping[str, Any]) -> Dict:
         """One admin request/response round trip with a node."""
         reader, writer = await self._channel(node_id)
-        await write_frame(writer, payload)
-        reply = await read_frame(reader)
+        try:
+            await write_frame(writer, payload)
+            reply = await read_frame(reader)
+        except (ConnectionError, OSError) as error:
+            self._drop_channel(node_id)
+            raise ClusterError(
+                f"admin channel to node {node_id} failed: {error}"
+            ) from error
         if reply is None:
+            self._drop_channel(node_id)
             raise ClusterError(f"node {node_id} hung up mid-admin-call")
         if reply.get("type") == "error":
             raise ClusterError(f"node {node_id}: {reply.get('error')}")
@@ -189,6 +208,64 @@ class ClusterHandle:
         wire = plan.to_wire() if plan is not None else None
         for node_id in nodes if nodes is not None else self.spec.processors:
             await self.admin(node_id, {"type": "fault", "plan": wire})
+
+    async def set_resilience(
+        self,
+        policy: Optional[RetryPolicy],
+        nodes: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Install (or clear, with ``None``) the retry/dedup machinery."""
+        wire = policy.to_wire() if policy is not None else None
+        for node_id in nodes if nodes is not None else self.spec.processors:
+            await self.admin(node_id, {"type": "resilience", "policy": wire})
+
+    async def status(self, node_id: int) -> Dict:
+        """One node's self-reported repair-relevant state."""
+        return await self.admin(node_id, {"type": "status"})
+
+    async def status_all(
+        self, nodes: Optional[Iterable[int]] = None
+    ) -> Dict[int, Dict]:
+        """Status of every node that still answers its admin socket.
+
+        Nodes whose admin channel is gone (a killed subprocess, not a
+        simulated crash — those still answer) are silently omitted; the
+        repairer treats absence as unreachable."""
+        result: Dict[int, Dict] = {}
+        for node_id in nodes if nodes is not None else self.spec.processors:
+            try:
+                result[node_id] = await self.status(node_id)
+            except (ClusterError, ConnectionError, OSError):
+                continue
+        return result
+
+    async def repair(self, donor: int, target: int, rid: int) -> Dict:
+        """Ask ``donor`` to copy its object to ``target`` (one data
+        message charged at the donor; see ``NodeServer._handle_repair_send``)."""
+        return await self.admin(
+            donor, {"type": "repair_send", "target": target, "rid": rid}
+        )
+
+    async def adopt(
+        self, node_id: int, nodes: Iterable[int], steward: bool = False
+    ) -> None:
+        """Register ``nodes`` in a core member's join-list (DA repair)."""
+        await self.admin(
+            node_id,
+            {
+                "type": "adopt",
+                "nodes": sorted(int(n) for n in nodes),
+                "steward": bool(steward),
+            },
+        )
+
+    async def set_scheme(
+        self, members: Iterable[int], nodes: Optional[Iterable[int]] = None
+    ) -> None:
+        """Broadcast a repaired allocation scheme (SA repair)."""
+        wire = sorted(int(member) for member in members)
+        for node_id in nodes if nodes is not None else self.spec.processors:
+            await self.admin(node_id, {"type": "set_scheme", "scheme": wire})
 
     async def crash(self, node_id: int) -> None:
         await self.admin(node_id, {"type": "crash"})
@@ -370,6 +447,10 @@ async def start_subprocess_cluster(spec: ClusterSpec) -> SubprocessCluster:
         cluster = SubprocessCluster(spec, actual, processes, socket_dir)
         await cluster.wire_peers()
         await cluster.ping_all()
+        if spec.resilience is not None:
+            # `serve` has no resilience flag; install over the admin
+            # plane so both launch modes honour the spec.
+            await cluster.set_resilience(spec.resilience)
         return cluster
     except BaseException:
         for process in processes.values():

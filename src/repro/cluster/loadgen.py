@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.cluster.resilience import RetryPolicy
 from repro.cluster.rpc import (
     read_frame,
     version_from_wire,
@@ -51,6 +52,11 @@ class RequestOutcome:
     error: Optional[str] = None
     #: Client-observed wall-clock latency, in seconds.
     latency: float = 0.0
+    #: Transport-level re-sends this request needed (0 without faults).
+    retries: int = 0
+    #: True when the node rejected the request in degraded mode
+    #: (:class:`~repro.exceptions.ClusterDegradedError` on the far side).
+    degraded: bool = False
 
 
 @dataclass
@@ -86,19 +92,37 @@ class ClusterClient:
     """Multiplexed client connections to every node of a cluster.
 
     One connection per node, pumped by a background task that resolves
-    ``result`` frames to their waiting callers by request id — so the
-    open-loop generator can keep many requests in flight per node."""
+    ``result`` frames to their waiting callers by ``(node, request id)``
+    — so the open-loop generator can keep many requests in flight per
+    node, and one node's death fails only *its* callers.
+
+    With a :class:`~repro.cluster.resilience.RetryPolicy` installed, the
+    client is the outer half of at-least-once RPC: transport-level
+    failures (a dead connection, a refused dial) are retried with seeded
+    backoff under the *same* request id, so the node-side dedup cache
+    absorbs duplicates.  Application-level replies — ``ok=False``
+    results, degraded rejections — are **never** retried: the node
+    answered; retrying would re-run a request the cluster already
+    decided on.  Timeouts are not retried either: slowness is not a
+    settled failure, and a duplicate of a still-running request races
+    its original."""
 
     def __init__(
-        self, addresses: Mapping[int, Address], timeout: float = 30.0
+        self,
+        addresses: Mapping[int, Address],
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.addresses = dict(addresses)
         self.timeout = timeout
+        self.retry = retry
+        # node_id -1: a stream disjoint from every node's transport RNG.
+        self._retry_rng = retry.rng_for(-1) if retry is not None else None
         self._conns: Dict[
             int,
             Tuple[asyncio.StreamWriter, asyncio.Lock, asyncio.Task],
         ] = {}
-        self._waiting: Dict[int, asyncio.Future] = {}
+        self._waiting: Dict[Tuple[int, int], asyncio.Future] = {}
 
     async def _conn(
         self, node_id: int
@@ -112,6 +136,15 @@ class ClusterClient:
         writer, lock, _ = self._conns[node_id]
         return writer, lock
 
+    def _evict(self, node_id: int) -> None:
+        """Forget a dead connection so the next call redials."""
+        entry = self._conns.pop(node_id, None)
+        if entry is not None:
+            writer, _, pump = entry
+            if pump is not asyncio.current_task():
+                pump.cancel()
+            writer.close()
+
     async def _pump(self, node_id: int, reader: asyncio.StreamReader) -> None:
         try:
             while True:
@@ -120,19 +153,49 @@ class ClusterClient:
                     break
                 if frame.get("type") != "result":
                     continue
-                future = self._waiting.pop(int(frame.get("rid", 0)), None)
+                key = (node_id, int(frame.get("rid", 0)))
+                future = self._waiting.pop(key, None)
                 if future is not None and not future.done():
                     future.set_result(frame)
+        except asyncio.CancelledError:
+            raise
         except (ClusterError, ConnectionError, OSError) as error:
-            self._fail_waiting(f"connection to node {node_id} died: {error}")
+            reason = f"connection to node {node_id} died: {error}"
         else:
-            self._fail_waiting(f"node {node_id} closed the connection")
+            reason = f"node {node_id} closed the connection"
+        # Evict *this* connection (unless a newer one already replaced
+        # it) so the next execute() redials instead of reusing a dead
+        # writer, then fail only the callers waiting on this node.
+        entry = self._conns.get(node_id)
+        if entry is not None and entry[2] is asyncio.current_task():
+            self._conns.pop(node_id, None)
+            entry[0].close()
+        self._fail_waiting(node_id, reason)
 
-    def _fail_waiting(self, reason: str) -> None:
-        for future in self._waiting.values():
+    def _fail_waiting(self, node_id: int, reason: str) -> None:
+        stale = [key for key in self._waiting if key[0] == node_id]
+        for key in stale:
+            future = self._waiting.pop(key)
             if not future.done():
                 future.set_exception(ClusterError(reason))
-        self._waiting.clear()
+
+    async def _execute_once(
+        self, node_id: int, rid: int, frame: Dict[str, object]
+    ) -> Dict[str, object]:
+        writer, lock = await self._conn(node_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiting[(node_id, rid)] = future
+        try:
+            async with lock:
+                await write_frame(writer, frame)
+        except (ConnectionError, OSError):
+            self._waiting.pop((node_id, rid), None)
+            self._evict(node_id)
+            raise
+        try:
+            return await asyncio.wait_for(future, self.timeout)
+        finally:
+            self._waiting.pop((node_id, rid), None)
 
     async def execute(
         self,
@@ -143,45 +206,46 @@ class ClusterClient:
     ) -> RequestOutcome:
         """Run one request on a node; never raises for protocol-level
         failures — inspect the outcome's ``ok``/``error``."""
-        frame = {"type": "exec", "rid": rid, "op": op}
+        frame: Dict[str, object] = {"type": "exec", "rid": rid, "op": op}
         if version is not None:
             frame["version"] = version_to_wire(version)
         started = time.monotonic()
-        try:
-            writer, lock = await self._conn(node_id)
-            future: asyncio.Future = asyncio.get_running_loop().create_future()
-            self._waiting[rid] = future
-            async with lock:
-                await write_frame(writer, frame)
-            reply = await asyncio.wait_for(future, self.timeout)
-        except (
-            ClusterError,
-            ConnectionError,
-            OSError,
-            asyncio.TimeoutError,
-        ) as error:
-            self._waiting.pop(rid, None)
-            message = (
-                f"client timed out after {self.timeout}s"
-                if isinstance(error, asyncio.TimeoutError)
-                else str(error)
-            )
+        attempts = self.retry.attempts if self.retry is not None else 1
+        retries = 0
+        last_error = "request was never attempted"
+        for attempt in range(attempts):
+            try:
+                reply = await self._execute_once(node_id, rid, frame)
+            except asyncio.TimeoutError:
+                last_error = f"client timed out after {self.timeout}s"
+                break
+            except (ClusterError, ConnectionError, OSError) as error:
+                last_error = str(error)
+                if attempt + 1 < attempts:
+                    retries += 1
+                    await asyncio.sleep(
+                        self.retry.backoff(attempt, self._retry_rng)
+                    )
+                continue
             return RequestOutcome(
                 rid=rid,
                 node=node_id,
                 op=op,
-                ok=False,
-                error=message,
+                ok=bool(reply.get("ok")),
+                version=version_from_wire(reply.get("version")),
+                error=reply.get("error"),
                 latency=time.monotonic() - started,
+                retries=retries,
+                degraded=bool(reply.get("degraded")),
             )
         return RequestOutcome(
             rid=rid,
             node=node_id,
             op=op,
-            ok=bool(reply.get("ok")),
-            version=version_from_wire(reply.get("version")),
-            error=reply.get("error"),
+            ok=False,
+            error=last_error,
             latency=time.monotonic() - started,
+            retries=retries,
         )
 
     async def close(self) -> None:

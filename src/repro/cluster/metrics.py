@@ -35,6 +35,17 @@ class NodeMetrics:
     dropped_messages: int = 0
     requests_completed: int = 0
     request_errors: int = 0
+    #: Resilience-layer counters, kept OUT of the paper-class totals:
+    #: a retransmission, a repair copy or a dedup hit is bookkeeping of
+    #: the fault-tolerance machinery, not a charged unit of the cost
+    #: model (repairs additionally charge ``data_sent`` — the one data
+    #: message the cost model prices a copy at — but are reported here
+    #: separately so faulted runs can subtract them).
+    retries_sent: int = 0
+    repairs_sent: int = 0
+    repairs_received: int = 0
+    dedup_hits: int = 0
+    degraded_rejections: int = 0
     #: Wall-clock service latency of each request this node originated,
     #: in seconds, in completion order.
     latencies: List[float] = field(default_factory=list)
@@ -58,6 +69,11 @@ class NodeMetrics:
             "dropped_messages": self.dropped_messages,
             "requests_completed": self.requests_completed,
             "request_errors": self.request_errors,
+            "retries_sent": self.retries_sent,
+            "repairs_sent": self.repairs_sent,
+            "repairs_received": self.repairs_received,
+            "dedup_hits": self.dedup_hits,
+            "degraded_rejections": self.degraded_rejections,
             "latencies": self.latencies,
         }
 
@@ -72,6 +88,13 @@ class NodeMetrics:
             dropped_messages=int(wire["dropped_messages"]),
             requests_completed=int(wire["requests_completed"]),
             request_errors=int(wire["request_errors"]),
+            # PR-3 senders omit the resilience counters; default to 0 so
+            # mixed-version admin planes keep interoperating.
+            retries_sent=int(wire.get("retries_sent", 0)),
+            repairs_sent=int(wire.get("repairs_sent", 0)),
+            repairs_received=int(wire.get("repairs_received", 0)),
+            dedup_hits=int(wire.get("dedup_hits", 0)),
+            degraded_rejections=int(wire.get("degraded_rejections", 0)),
             latencies=[float(value) for value in wire["latencies"]],
         )
 
@@ -92,6 +115,28 @@ def aggregate(metrics: Iterable[NodeMetrics]) -> SimulationStats:
         stats.requests_completed += node.requests_completed
         stats.latencies.extend(node.latencies)
     return stats
+
+
+def resilience_totals(metrics: Iterable[NodeMetrics]) -> Dict[str, int]:
+    """Sum the fault-tolerance counters across nodes.
+
+    Kept apart from :func:`aggregate` on purpose: the paper's
+    :class:`~repro.distsim.statistics.SimulationStats` must stay exactly
+    the charged units, so parity comparisons never see these."""
+    totals = {
+        "retries_sent": 0,
+        "repairs_sent": 0,
+        "repairs_received": 0,
+        "dedup_hits": 0,
+        "degraded_rejections": 0,
+    }
+    for node in metrics:
+        totals["retries_sent"] += node.retries_sent
+        totals["repairs_sent"] += node.repairs_sent
+        totals["repairs_received"] += node.repairs_received
+        totals["dedup_hits"] += node.dedup_hits
+        totals["degraded_rejections"] += node.degraded_rejections
+    return totals
 
 
 def latency_histogram(

@@ -33,6 +33,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Set
 
 from repro.cluster.metrics import NodeMetrics
 from repro.cluster.protocol import make_live_protocol
+from repro.cluster.resilience import DedupCache, RetryPolicy
 from repro.cluster.rpc import (
     read_frame,
     version_from_wire,
@@ -41,7 +42,12 @@ from repro.cluster.rpc import (
     write_frame,
 )
 from repro.cluster.transport import Address, FaultPlan, PeerTransport, start_server
-from repro.exceptions import ClusterError, ProtocolError, StorageError
+from repro.exceptions import (
+    ClusterDegradedError,
+    ClusterError,
+    ProtocolError,
+    StorageError,
+)
 from repro.storage.local_db import LocalDatabase
 from repro.storage.versions import ObjectVersion
 
@@ -52,6 +58,10 @@ ADMIN_FRAME_TYPES = frozenset(
         "metrics",
         "set_peers",
         "fault",
+        "resilience",
+        "status",
+        "adopt",
+        "set_scheme",
         "reset_metrics",
         "crash",
         "recover",
@@ -72,6 +82,10 @@ class NodeConfig:
     #: Hard ceiling on one client request; a live protocol stalled by
     #: extreme fault plans fails loudly instead of wedging the node.
     exec_timeout: float = 15.0
+    #: Opt-in fault tolerance.  ``None`` (the default) reproduces PR 3's
+    #: behavior byte for byte — no retries, no dedup, no degraded-mode
+    #: write rejection — which is what the parity invariant relies on.
+    resilience: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -88,6 +102,11 @@ class PendingRequest:
     units: int
     future: asyncio.Future
     version: Optional[ObjectVersion] = None
+    #: Peers whose unit settled because they were crashed (fail-stop
+    #: receivers count the drop and notify the oracle).  The resilient
+    #: write path inspects this to decide whether any *live* replica
+    #: actually took the update.
+    crash_settled: Set[int] = field(default_factory=set)
 
     def resolve(self) -> None:
         if not self.future.done():
@@ -104,6 +123,13 @@ class _Relay:
 
     upstream: int
     units: int
+    #: The invalidation targets (for lazy join-list removal on
+    #: crash-settled units in resilient mode).
+    targets: Set[int] = field(default_factory=set)
+    #: True once any relayed invalidation was permanently lost; the
+    #: upstream acknowledgement then carries ``failed`` so the writer
+    #: rejects instead of acknowledging over a stale surviving copy.
+    failed: bool = False
 
 
 class NodeServer:
@@ -113,11 +139,24 @@ class NodeServer:
         self.config = config
         self.node_id = config.node_id
         self.metrics = NodeMetrics(config.node_id)
-        self.transport = PeerTransport(config.node_id, self.metrics)
+        self.transport = PeerTransport(
+            config.node_id, self.metrics, retry_policy=config.resilience
+        )
         self.database = LocalDatabase(config.node_id)
         #: DA volatile state: processors recorded as saving readers.
         self.join_list: Set[int] = set()
+        #: DA resilient state: a core member adopted into recording
+        #: non-core holders after a repair round (see SchemeRepairer).
+        self.steward = False
         self.crashed = False
+        self.resilience: Optional[RetryPolicy] = config.resilience
+        #: At-least-once dedup: completed exec replies by request id,
+        #: plus the in-flight ones a concurrent retry must await.
+        self._exec_cache = DedupCache(2048)
+        self._exec_inflight: Dict[int, asyncio.Future] = {}
+        #: Per-write invalidation targets, for lazy join-list removal
+        #: when a target's unit settles by crash (resilient mode).
+        self._inval_targets: Dict[int, Set[int]] = {}
         self._pending: Dict[int, PendingRequest] = {}
         self._relays: Dict[int, _Relay] = {}
         self._server = None
@@ -212,6 +251,11 @@ class NodeServer:
             self._spawn(self._handle_msg(frame))
         elif kind == "done":
             self._spawn(self._handle_done(frame))
+        elif kind == "repair":
+            self._spawn(self._handle_repair_copy(frame))
+        elif kind == "repair_send":
+            # Async admin: the reply waits for the peer-plane transfer.
+            self._spawn(self._handle_repair_send(frame, writer, lock))
         elif kind in ADMIN_FRAME_TYPES:
             await self._handle_admin(kind, frame, writer, lock)
         else:
@@ -237,6 +281,26 @@ class NodeServer:
         lock: asyncio.Lock,
     ) -> None:
         rid = int(frame.get("rid", 0))
+        if self.resilience is not None:
+            # At-least-once dedup: a client retry of a request that
+            # already ran (or is running) must observe the original
+            # outcome, never re-execute a write.
+            cached = self._exec_cache.lookup(rid)
+            if cached is not None:
+                self.metrics.dedup_hits += 1
+                async with lock:
+                    await write_frame(writer, cached)
+                return
+            inflight = self._exec_inflight.get(rid)
+            if inflight is not None:
+                self.metrics.dedup_hits += 1
+                payload = await inflight
+                async with lock:
+                    await write_frame(writer, payload)
+                return
+            self._exec_inflight[rid] = (
+                asyncio.get_running_loop().create_future()
+            )
         started = time.monotonic()
         try:
             version = await asyncio.wait_for(
@@ -253,6 +317,7 @@ class NodeServer:
         except asyncio.TimeoutError:
             self.metrics.request_errors += 1
             self._pending.pop(rid, None)
+            self._inval_targets.pop(rid, None)
             payload = {
                 "type": "result",
                 "rid": rid,
@@ -265,7 +330,15 @@ class NodeServer:
         except (ClusterError, ProtocolError, StorageError) as error:
             self.metrics.request_errors += 1
             self._pending.pop(rid, None)
+            self._inval_targets.pop(rid, None)
             payload = {"type": "result", "rid": rid, "ok": False, "error": str(error)}
+            if isinstance(error, ClusterDegradedError):
+                payload["degraded"] = True
+        if self.resilience is not None:
+            self._exec_cache.store(rid, payload)
+            inflight = self._exec_inflight.pop(rid, None)
+            if inflight is not None and not inflight.done():
+                inflight.set_result(payload)
         async with lock:
             await write_frame(writer, payload)
 
@@ -310,17 +383,38 @@ class NodeServer:
     async def _handle_done(self, frame: Mapping[str, Any]) -> None:
         rid = int(frame.get("rid", 0))
         dropped = bool(frame.get("dropped", False))
+        failed = bool(frame.get("failed", False))
+        source = int(frame.get("from", -1))
         if rid in self._relays:
-            await self.finish_relay_unit(rid)
+            if dropped and source in self._relays[rid].targets:
+                # The target crashed — its copy is invalid, so it is
+                # safe to forget (lazy removal keeps only targets whose
+                # invalidation could NOT be confirmed).
+                self.join_list.discard(source)
+            await self.finish_relay_unit(rid, failed=failed)
             return
         pending = self._pending.get(rid)
         if pending is None:
             return  # late oracle for a request that already failed
-        if dropped and pending.kind == "r":
+        if failed:
+            # A downstream relay could not invalidate a stale holder:
+            # acknowledging the write would let that copy be read later.
             self.fail_pending(
-                rid, f"the response to read {rid} was lost in transit"
+                rid,
+                f"write {rid}: a relayed invalidation was permanently "
+                "lost; a stale copy may survive",
+                degraded=True,
             )
             return
+        if dropped:
+            pending.crash_settled.add(source)
+            if source in self._inval_targets.get(rid, ()):
+                self.join_list.discard(source)
+            if pending.kind == "r":
+                self.fail_pending(
+                    rid, f"the response to read {rid} was lost in transit"
+                )
+                return
         # A write's store/invalidate resolved (delivered or dropped —
         # either way the work unit is settled).
         self.finish_unit(rid, dropped=dropped)
@@ -369,6 +463,38 @@ class NodeServer:
                 FaultPlan.from_wire(plan) if plan is not None else None
             )
             return {"type": "ok", "op": "fault"}
+        if kind == "resilience":
+            policy = frame.get("policy")
+            self.set_resilience(
+                RetryPolicy.from_wire(policy) if policy is not None else None
+            )
+            return {"type": "ok", "op": "resilience"}
+        if kind == "status":
+            version = self.database.peek_version()
+            return {
+                "type": "status",
+                "node": self.node_id,
+                "crashed": self.crashed,
+                "holds_valid_copy": self.database.holds_valid_copy,
+                "version": version_to_wire(version),
+                "join_list": sorted(self.join_list),
+                "steward": self.steward,
+                "scheme": sorted(self.protocol.scheme),
+                "protocol": self.protocol.name,
+            }
+        if kind == "adopt":
+            if self.crashed:
+                raise ClusterError(
+                    f"node {self.node_id} is crashed and cannot adopt"
+                )
+            self.join_list.update(int(n) for n in frame.get("nodes", ()))
+            if bool(frame.get("steward", False)):
+                self.steward = True
+            return {"type": "ok", "op": "adopt"}
+        if kind == "set_scheme":
+            members = frozenset(int(n) for n in frame.get("scheme", ()))
+            self.protocol.update_scheme(members)
+            return {"type": "ok", "op": "set_scheme"}
         if kind == "reset_metrics":
             self.reset_metrics()
             return {"type": "ok", "op": "reset_metrics"}
@@ -381,6 +507,81 @@ class NodeServer:
         if kind == "shutdown":
             return {"type": "ok", "op": "shutdown"}
         raise ClusterError(f"unknown admin frame {kind!r}")
+
+    def set_resilience(self, policy: Optional[RetryPolicy]) -> None:
+        """Install (or clear) the opt-in fault-tolerance machinery."""
+        self.resilience = policy
+        self.transport.set_retry_policy(policy)
+
+    # -- scheme repair -----------------------------------------------------
+
+    async def _handle_repair_send(
+        self,
+        frame: Mapping[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Admin: act as repair donor — copy our object to a peer.
+
+        Replies only after the transfer settled, so the repairer can
+        drive rounds synchronously.  The copy is charged as one data
+        message at this node (see ``PeerTransport.send_repair``) plus
+        the store I/O at the target; the donor's local read is
+        uncharged, like the simulator's recovery handshakes.  Fault-free
+        runs never repair, so parity is untouched."""
+        target = int(frame.get("target", -1))
+        rid = int(frame.get("rid", 0))
+        try:
+            if self.crashed:
+                raise ClusterError(
+                    f"repair donor {self.node_id} is crashed"
+                )
+            if not self.database.holds_valid_copy:
+                raise ClusterError(
+                    f"repair donor {self.node_id} holds no valid copy"
+                )
+            version = self.database.peek_version()
+            pending = self.open_pending(rid, "w", units=1)
+            delivered = await self.transport.send_repair(
+                target, rid, version_to_wire(version)
+            )
+            if not delivered:
+                self.fail_pending(
+                    rid,
+                    f"repair copy {self.node_id} -> {target} was lost "
+                    "in transit",
+                )
+            await pending.result()
+            if target in pending.crash_settled:
+                raise ClusterError(
+                    f"repair target {target} is crashed"
+                )
+            reply: Dict[str, Any] = {
+                "type": "repair_report",
+                "donor": self.node_id,
+                "target": target,
+                "version": version_to_wire(version),
+            }
+        except ClusterError as error:
+            self._pending.pop(rid, None)
+            reply = {"type": "error", "error": str(error)}
+        async with lock:
+            await write_frame(writer, reply)
+
+    async def _handle_repair_copy(self, frame: Mapping[str, Any]) -> None:
+        """Peer plane: install a repair copy shipped by a donor."""
+        rid = int(frame.get("rid", 0))
+        donor = int(frame.get("from", -1))
+        if self.crashed:
+            self.metrics.dropped_messages += 1
+            await self.transport.send_done(donor, rid, dropped=True)
+            return
+        version = version_from_wire(frame.get("version"))
+        if version is None:
+            raise ClusterError("a repair frame needs a 'version'")
+        self.output_object(version)
+        self.metrics.repairs_received += 1
+        await self.transport.send_done(donor, rid)
 
     # -- state used by the protocol adapters -------------------------------
 
@@ -417,12 +618,17 @@ class NodeServer:
         pending.units -= 1
         if pending.units <= 0:
             self._pending.pop(rid, None)
+            self._inval_targets.pop(rid, None)
             pending.resolve()
 
-    def fail_pending(self, rid: int, reason: str) -> None:
+    def fail_pending(self, rid: int, reason: str, degraded: bool = False) -> None:
         pending = self._pending.pop(rid, None)
+        self._inval_targets.pop(rid, None)
+        if degraded:
+            self.metrics.degraded_rejections += 1
         if pending is not None and not pending.future.done():
-            pending.future.set_exception(ClusterError(reason))
+            error_type = ClusterDegradedError if degraded else ClusterError
+            pending.future.set_exception(error_type(reason))
 
     def resolve_read(
         self, rid: int, version: ObjectVersion, save: bool = False
@@ -442,17 +648,30 @@ class NodeServer:
         self.finish_unit(rid)
         return True
 
-    def open_relay(self, rid: int, upstream: int, units: int) -> None:
-        self._relays[rid] = _Relay(upstream=upstream, units=units)
+    def open_relay(
+        self,
+        rid: int,
+        upstream: int,
+        units: int,
+        targets: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._relays[rid] = _Relay(
+            upstream=upstream,
+            units=units,
+            targets=set(targets) if targets is not None else set(),
+        )
 
-    async def finish_relay_unit(self, rid: int) -> None:
+    async def finish_relay_unit(self, rid: int, failed: bool = False) -> None:
         relay = self._relays.get(rid)
         if relay is None:
             return
+        relay.failed = relay.failed or failed
         relay.units -= 1
         if relay.units <= 0:
             self._relays.pop(rid, None)
-            await self.transport.send_done(relay.upstream, rid)
+            await self.transport.send_done(
+                relay.upstream, rid, failed=relay.failed
+            )
 
     # -- failures ----------------------------------------------------------
 
@@ -462,8 +681,10 @@ class NodeServer:
             raise ClusterError(f"node {self.node_id} is already down")
         self.crashed = True
         self.join_list.clear()
+        self.steward = False
         self.database.crash()
         self._relays.clear()
+        self._inval_targets.clear()
         for rid in list(self._pending):
             self.fail_pending(rid, f"node {self.node_id} crashed")
 

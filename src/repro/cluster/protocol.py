@@ -30,7 +30,7 @@ schedules exactly like the simulator does.
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.distsim.messages import DataTransfer, Invalidate, Message, ReadRequest
 from repro.distsim.protocols.da_protocol import (
@@ -38,7 +38,7 @@ from repro.distsim.protocols.da_protocol import (
     da_invalidation_targets,
 )
 from repro.distsim.protocols.sa_protocol import sa_store_targets
-from repro.exceptions import ClusterError
+from repro.exceptions import ClusterDegradedError, ClusterError, StorageError
 from repro.storage.versions import ObjectVersion
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +60,24 @@ class LiveProtocol:
     def me(self) -> int:
         return self.node.node_id
 
+    @property
+    def resilient(self) -> bool:
+        """True when the node runs with a retry policy installed.
+
+        Resilient mode changes failure *semantics* only: reads fail
+        over across holders, writes reject (typed) instead of silently
+        settling over a permanently lost message, and DA join-lists use
+        lazy removal.  On a fault-free run every branch below reduces to
+        the non-resilient behavior, message for message — asserted by
+        the parity tests."""
+        return self.node.resilience is not None
+
+    def update_scheme(self, members) -> None:
+        """Adopt a repaired allocation scheme (admin ``set_scheme``)."""
+        raise ClusterError(
+            f"{self.name} does not support scheme updates"
+        )
+
     async def client_read(self, rid: int) -> ObjectVersion:
         raise NotImplementedError
 
@@ -71,34 +89,76 @@ class LiveProtocol:
 
     # -- shared building blocks ------------------------------------------
 
-    async def _fan_out(self, rid: int, messages: List[Message]) -> None:
+    async def _fan_out(self, rid: int, messages: List[Message]) -> List[bool]:
         """Send concurrently; a sender-side drop of a store or an
         invalidation resolves its work unit immediately (the simulated
-        network's ``on_dropped`` rule — the lost copy is moot)."""
+        network's ``on_dropped`` rule — the lost copy is moot).  In
+        resilient mode a permanent drop instead *fails* the request
+        typed: retries already spent their budget, so a live receiver
+        missed an update it needed."""
         transport = self.node.transport
         results = await asyncio.gather(
             *(transport.send_protocol(message) for message in messages)
         )
         for message, delivered in zip(messages, results):
             if not delivered:
-                self.node.finish_unit(rid, dropped=True)
+                if self.resilient:
+                    self.node.fail_pending(
+                        rid,
+                        f"request {rid}: message to {message.receiver} "
+                        "was permanently lost after retries",
+                        degraded=True,
+                    )
+                else:
+                    self.node.finish_unit(rid, dropped=True)
+        return list(results)
 
-    async def _remote_read(self, rid: int, server: int) -> ObjectVersion:
-        """Request the object from ``server`` and await the response."""
-        pending = self.node.open_pending(rid, "r", units=1)
-        delivered = await self.node.transport.send_protocol(
-            ReadRequest(self.me, server, request_id=rid)
-        )
-        if not delivered:
-            self.node.fail_pending(
-                rid,
-                f"read request from {self.me} to {server} was lost in transit",
+    async def _remote_read(self, rid: int, servers: List[int]) -> ObjectVersion:
+        """Request the object from the first answering server.
+
+        Non-resilient callers pass exactly one candidate, reproducing
+        PR 3's behavior; resilient callers pass a failover list walked
+        in order, moving on when a candidate is crashed, unreachable or
+        copyless.  Failover is only triggered by *settled* failures (a
+        drop or a crash notification), never by slowness, so at most
+        one candidate ever answers — no duplicate-response races."""
+        last_error: Optional[ClusterError] = None
+        for server in servers:
+            pending = self.node.open_pending(rid, "r", units=1)
+            delivered = await self.node.transport.send_protocol(
+                ReadRequest(self.me, server, request_id=rid)
             )
-        return await pending.result()
+            if not delivered:
+                self.node.fail_pending(
+                    rid,
+                    f"read request from {self.me} to {server} was lost "
+                    "in transit",
+                )
+            try:
+                return await pending.result()
+            except ClusterDegradedError:
+                raise
+            except ClusterError as error:
+                last_error = error
+        if last_error is not None and len(servers) == 1:
+            raise last_error
+        raise ClusterError(
+            f"read {rid} at {self.me}: no reachable copy among "
+            f"{servers} ({last_error})"
+        )
 
     async def _serve_read(self, message: ReadRequest, save_copy: bool) -> None:
         """Input the object and ship it back to the requester."""
-        version = self.node.input_object()
+        try:
+            version = self.node.input_object()
+        except StorageError:
+            # No valid local copy (e.g. freshly recovered, not yet
+            # repaired): tell the reader its response is not coming so
+            # it can fail over / fail fast instead of timing out.
+            await self.node.transport.send_done(
+                message.sender, message.request_id, dropped=True
+            )
+            return
         delivered = await self.node.transport.send_protocol(
             DataTransfer(
                 self.me,
@@ -125,27 +185,65 @@ class LiveStaticAllocation(LiveProtocol):
         super().__init__(node)
         self.server = min(self.scheme)
 
+    def update_scheme(self, members) -> None:
+        """SA repair grows ``Q`` to cover repaired copy holders.
+
+        The scheme is static under the paper's normal mode; repair is
+        the one (failure-mode) mutation, broadcast by the repairer so
+        every node routes stores to the full post-repair scheme."""
+        scheme = frozenset(int(member) for member in members)
+        if len(scheme) < 2:
+            raise ClusterError("the scheme must keep t >= 2 members")
+        self.scheme = scheme
+        self.server = min(scheme)
+
     async def client_read(self, rid: int) -> ObjectVersion:
         if self.me in self.scheme:
-            return self.node.input_object()
-        return await self._remote_read(rid, self.server)
+            if not self.resilient or self.node.database.holds_valid_copy:
+                return self.node.input_object()
+            # Resilient: a freshly recovered member serves from a live
+            # peer until a repair round restores its local copy.
+            candidates = sorted(self.scheme - {self.me})
+        elif self.resilient:
+            candidates = sorted(self.scheme)
+        else:
+            candidates = [self.server]
+        return await self._remote_read(rid, candidates)
 
     async def client_write(self, rid: int, version: ObjectVersion) -> None:
         targets = sa_store_targets(self.scheme, self.me)
         pending = self.node.open_pending(rid, "w", units=len(targets))
         if self.me in self.scheme:
             self.node.output_object(version)
-        await self._fan_out(
-            rid,
-            [
-                DataTransfer(
-                    self.me, member, version=version, request_id=rid,
-                    save_copy=True,
-                )
-                for member in targets
-            ],
-        )
-        await pending.result()
+        try:
+            await self._fan_out(
+                rid,
+                [
+                    DataTransfer(
+                        self.me, member, version=version, request_id=rid,
+                        save_copy=True,
+                    )
+                    for member in targets
+                ],
+            )
+            await pending.result()
+        except ClusterError:
+            if self.resilient and self.me in self.scheme:
+                # Roll back the unacknowledged local copy so no replica
+                # serves a version newer than the last acknowledged one
+                # as if it were committed.
+                self.node.database.invalidate()
+            raise
+        if (
+            self.resilient
+            and self.me not in self.scheme
+            and targets
+            and set(targets) <= pending.crash_settled
+        ):
+            raise ClusterDegradedError(
+                f"write {rid}: every scheme member is crashed; "
+                "no live replica holds the update"
+            )
 
     async def handle_message(self, message: Message) -> None:
         if isinstance(message, ReadRequest):
@@ -191,7 +289,16 @@ class LiveDynamicAllocation(LiveProtocol):
     async def client_read(self, rid: int) -> ObjectVersion:
         if self.node.database.holds_valid_copy:
             return self.node.input_object()
-        return await self._remote_read(rid, self.server)
+        if not self.resilient:
+            return await self._remote_read(rid, [self.server])
+        # Failover order: core members ascending (the first is exactly
+        # the non-resilient server, keeping fault-free traffic
+        # identical), then the primary — it holds a copy whenever no
+        # core member does (e.g. all of F crashed and was repaired).
+        candidates = sorted(self.core - {self.me})
+        if self.primary != self.me:
+            candidates.append(self.primary)
+        return await self._remote_read(rid, candidates)
 
     async def client_write(self, rid: int, version: ObjectVersion) -> None:
         execution_set = da_execution_set(self.core, self.primary, self.me)
@@ -206,7 +313,16 @@ class LiveDynamicAllocation(LiveProtocol):
         )
         self.node.output_object(version)
         if self.me in self.core:
-            self._restart_join_list(execution_set)
+            if self.resilient:
+                # Lazy discipline: a target leaves the join-list only
+                # once its invalidation settles — delivered (below) or
+                # the target crashed (`done dropped` via this record in
+                # :meth:`NodeServer._handle_done`).  Clearing up front,
+                # as the fault-free discipline may, would forget a
+                # holder whose invalidation is then permanently lost.
+                self.node._inval_targets[rid] = set(own_targets)
+            else:
+                self._restart_join_list(execution_set)
         messages: List[Message] = [
             DataTransfer(
                 self.me, member, version=version, request_id=rid,
@@ -220,8 +336,36 @@ class LiveDynamicAllocation(LiveProtocol):
             )
             for target in own_targets
         ]
-        await self._fan_out(rid, messages)
-        await pending.result()
+        try:
+            results = await self._fan_out(rid, messages)
+            if self.resilient and self.me in self.core:
+                for message, delivered in zip(messages, results):
+                    if delivered and isinstance(message, Invalidate):
+                        # On the wire to a live target: the copy there is
+                        # invalid either way (the frame invalidates it, a
+                        # crash would too).
+                        self.node.join_list.discard(message.receiver)
+                if self.me == self.server or self.node.steward:
+                    # The stores just (re)validated the non-core members
+                    # of the execution set — the primary, for a core
+                    # writer — so record them for future invalidation,
+                    # exactly as `_restart_join_list` does fault-free.
+                    self.node.join_list.update(execution_set - self.core)
+            await pending.result()
+        except ClusterError:
+            if self.resilient:
+                # The update was not acknowledged; drop the local copy
+                # so this node cannot serve it as if committed.
+                self.node.database.invalidate()
+            raise
+        if self.resilient and self.me not in self.core:
+            core_stores = {target for target in stores if target in self.core}
+            if core_stores and core_stores <= pending.crash_settled:
+                self.node.database.invalidate()
+                raise ClusterDegradedError(
+                    f"write {rid}: every member of F crashed during the "
+                    "store; reads routed through F would miss the update"
+                )
 
     def _restart_join_list(self, execution_set) -> None:
         """Clear the walked join-list; the serving member then records
@@ -261,9 +405,23 @@ class LiveDynamicAllocation(LiveProtocol):
             targets = da_invalidation_targets(
                 self.node.join_list, execution_set, writer
             )
-            self._restart_join_list(execution_set)
+            if self.resilient:
+                # Lazy discipline (see `client_write`): targets leave
+                # the list per settled invalidation, never wholesale.
+                # The new non-core holders are merged in immediately —
+                # they hold the version being written, so forgetting
+                # them would be unsafe, not conservative.
+                if self.me == self.server or self.node.steward:
+                    self.node.join_list.update(execution_set - self.core)
+            else:
+                self._restart_join_list(execution_set)
             if targets:
-                self.node.open_relay(rid, upstream=writer, units=len(targets))
+                self.node.open_relay(
+                    rid,
+                    upstream=writer,
+                    units=len(targets),
+                    targets=set(targets),
+                )
                 await self._relay_invalidations(
                     rid, message.version.number, targets
                 )
@@ -285,8 +443,16 @@ class LiveDynamicAllocation(LiveProtocol):
                 for target in targets
             )
         )
-        for delivered in results:
-            if not delivered:
+        for target, delivered in zip(targets, results):
+            if delivered:
+                if self.resilient:
+                    self.node.join_list.discard(target)
+            elif self.resilient:
+                # Retries exhausted on a live target: a stale valid copy
+                # may survive there.  Propagate the failure upstream so
+                # the writer rejects instead of acknowledging.
+                await self.node.finish_relay_unit(rid, failed=True)
+            else:
                 await self.node.finish_relay_unit(rid)
 
 

@@ -34,6 +34,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.cluster.rpc import message_to_wire, write_frame
 from repro.cluster.metrics import NodeMetrics
+from repro.cluster.resilience import RetryPolicy
 from repro.distsim.messages import Message
 from repro.exceptions import ClusterError
 
@@ -215,10 +216,14 @@ class PeerTransport:
         node_id: int,
         metrics: NodeMetrics,
         fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.node_id = node_id
         self.metrics = metrics
         self.fault_plan = fault_plan
+        self.retry_policy: Optional[RetryPolicy] = None
+        self._retry_rng: Optional[random.Random] = None
+        self.set_retry_policy(retry_policy)
         self.peers: Dict[int, Address] = {}
         self._links: Dict[
             int, Tuple[asyncio.StreamReader, asyncio.StreamWriter, asyncio.Lock]
@@ -228,12 +233,24 @@ class PeerTransport:
     def set_peers(self, peers: Mapping[int, Address]) -> None:
         self.peers = dict(peers)
 
+    def set_retry_policy(self, policy: Optional[RetryPolicy]) -> None:
+        """Install (or clear) at-least-once retransmission on this node."""
+        self.retry_policy = policy
+        self._retry_rng = policy.rng_for(self.node_id) if policy else None
+
     # -- the two send planes ---------------------------------------------
 
     async def send_protocol(self, message: Message) -> bool:
         """Charge and ship a protocol message; ``False`` if a transport
         fault swallowed it (the charge stands, mirroring the simulated
-        network's sender-side accounting for doomed messages)."""
+        network's sender-side accounting for doomed messages).
+
+        With a :class:`~repro.cluster.resilience.RetryPolicy` installed
+        the transmission is at-least-once: a faulted attempt backs off
+        and re-sends up to the policy's budget.  Only the first attempt
+        is charged by paper class — retransmissions count in
+        ``retries_sent`` so faulted runs report recovery work without
+        perturbing the cost-model accounting."""
         if message.sender != self.node_id:
             raise ClusterError(
                 f"node {self.node_id} cannot send on behalf of "
@@ -245,23 +262,70 @@ class PeerTransport:
                 "(local work is I/O, not communication)"
             )
         self.metrics.charge_message(message)
-        plan = self.fault_plan
-        if plan is not None and plan.should_drop(message.sender, message.receiver):
-            self.metrics.dropped_messages += 1
-            return False
-        delay = plan.delay_for(message.sender, message.receiver) if plan else 0.0
-        await self._write(message.receiver, message_to_wire(message), delay)
-        return True
+        return await self._ship(message.receiver, message_to_wire(message))
+
+    async def send_repair(
+        self, peer: int, rid: int, version_wire: Mapping[str, Any]
+    ) -> bool:
+        """Ship a repair copy of the object to ``peer``.
+
+        Charged as **one data message** (what the cost model prices a
+        copy transfer at) and counted separately in ``repairs_sent``.
+        Subject to transport faults and retries like any charged send."""
+        self.metrics.data_sent += 1
+        self.metrics.repairs_sent += 1
+        payload = {
+            "type": "repair",
+            "rid": rid,
+            "from": self.node_id,
+            "version": dict(version_wire),
+        }
+        return await self._ship(peer, payload)
+
+    async def _ship(self, receiver: int, payload: Mapping[str, Any]) -> bool:
+        """One charged transmission, with the fault plan and (when a
+        retry policy is installed) backoff retransmissions applied."""
+        policy = self.retry_policy
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            plan = self.fault_plan
+            if plan is not None and plan.should_drop(self.node_id, receiver):
+                self.metrics.dropped_messages += 1
+            else:
+                delay = plan.delay_for(self.node_id, receiver) if plan else 0.0
+                try:
+                    await self._write(receiver, payload, delay)
+                    return True
+                except ClusterError:
+                    if policy is None:
+                        raise
+                    # A dead link is a lost transmission: count it and
+                    # fall through to the retry path.
+                    self.metrics.dropped_messages += 1
+            if attempt + 1 < attempts:
+                self.metrics.retries_sent += 1
+                assert policy is not None and self._retry_rng is not None
+                await asyncio.sleep(policy.backoff(attempt, self._retry_rng))
+        return False
 
     async def send_done(
-        self, peer: int, rid: int, dropped: bool = False
+        self, peer: int, rid: int, dropped: bool = False, failed: bool = False
     ) -> None:
-        """Ship an uncharged completion notification (never faulted)."""
-        await self._write(
-            peer,
-            {"type": "done", "rid": rid, "from": self.node_id, "dropped": dropped},
-            delay=0.0,
-        )
+        """Ship an uncharged completion notification (never faulted).
+
+        ``dropped`` reports a unit settled by the receiver's fail-stop
+        crash; ``failed`` reports a unit that could NOT settle safely —
+        a relayed invalidation permanently lost in transit — so the
+        origin can reject the write instead of acknowledging it."""
+        payload = {
+            "type": "done",
+            "rid": rid,
+            "from": self.node_id,
+            "dropped": dropped,
+        }
+        if failed:
+            payload["failed"] = True
+        await self._write(peer, payload, delay=0.0)
 
     # -- plumbing ---------------------------------------------------------
 

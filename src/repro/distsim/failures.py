@@ -12,8 +12,9 @@ recovery literature assumes.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import List, Optional, Protocol
 
+from repro.distsim.events import Event
 from repro.distsim.network import Network
 from repro.exceptions import SimulationError
 from repro.types import ProcessorId
@@ -39,6 +40,10 @@ class FailureInjector:
         self.protocol = protocol
         self.crash_count = 0
         self.recovery_count = 0
+        #: Scheduled crash/recovery events not yet fired, so `shutdown`
+        #: can cancel them instead of leaving armed timers behind in
+        #: the simulator's queue.
+        self._timers: List[Event] = []
 
     # -- immediate (between requests, the common test pattern) ----------------
 
@@ -60,15 +65,41 @@ class FailureInjector:
 
     # -- scheduled (mid-request failures) ----------------------------------------
 
-    def schedule_crash(self, node_id: ProcessorId, delay: float) -> None:
-        self.network.simulator.schedule(
-            delay, lambda: self.crash_now(node_id), label=f"crash@{node_id}"
+    def schedule_crash(self, node_id: ProcessorId, delay: float) -> Event:
+        return self._schedule(
+            delay, lambda: self.crash_now(node_id), f"crash@{node_id}"
         )
 
-    def schedule_recovery(self, node_id: ProcessorId, delay: float) -> None:
-        self.network.simulator.schedule(
-            delay, lambda: self.recover_now(node_id), label=f"recover@{node_id}"
+    def schedule_recovery(self, node_id: ProcessorId, delay: float) -> Event:
+        return self._schedule(
+            delay, lambda: self.recover_now(node_id), f"recover@{node_id}"
         )
+
+    def _schedule(self, delay: float, action, label: str) -> Event:
+        event: Event
+
+        def fire() -> None:
+            # Fired timers remove themselves so `shutdown` only cancels
+            # what is genuinely still pending.
+            if event in self._timers:
+                self._timers.remove(event)
+            action()
+
+        event = self.network.simulator.schedule(delay, fire, label=label)
+        self._timers.append(event)
+        return event
+
+    def shutdown(self) -> int:
+        """Cancel every still-pending scheduled crash/recovery.
+
+        Returns the number of timers cancelled.  Without this, an
+        injector torn down mid-experiment leaves armed events in the
+        simulator queue that fire into a dismantled cluster."""
+        pending = [event for event in self._timers if not event.cancelled]
+        for event in pending:
+            event.cancel()
+        self._timers.clear()
+        return len(pending)
 
     def _notify(self, hook: str, node_id: ProcessorId) -> None:
         if self.protocol is not None and hasattr(self.protocol, hook):

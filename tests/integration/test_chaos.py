@@ -1,0 +1,64 @@
+"""Integration: seeded chaos runs hold every invariant, deterministically.
+
+The heavyweight acceptance sweep (hundreds of requests, many seeds)
+runs from the CLI; here a CI-sized run proves the harness end to end —
+faults fire, repair restores ``t``-availability, and the tracker sees
+zero violations — plus the replay guarantee that one seed yields one
+plan and one outcome.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.chaos import ChaosConfig, run_chaos
+
+CONFIG = dict(
+    protocol="DA",
+    nodes=5,
+    t=2,
+    requests=120,
+    write_fraction=0.3,
+    seed=5,
+    crashes=2,
+    partitions=1,
+    drop_bursts=2,
+    drop_probability=0.02,
+)
+
+
+def run(config: ChaosConfig):
+    return asyncio.run(run_chaos(config))
+
+
+class TestChaosRun:
+    def test_seeded_run_holds_all_invariants(self):
+        result = run(ChaosConfig(**CONFIG))
+        assert result.ok, result.describe()
+        # The run was not vacuous: faults actually fired and were
+        # actually survived.
+        assert any(e.kind == "crash" for e in result.plan.events)
+        assert result.repair_rounds >= 1
+        assert result.writes_acked >= 1
+        assert result.reads_ok >= 1
+        assert result.latest_acked >= 1
+        # The final sweep read every node fault-free.
+        assert result.reads_ok + result.reads_failed >= len(
+            result.plan.processors
+        )
+
+    def test_sa_run_holds_all_invariants(self):
+        result = run(ChaosConfig(**{**CONFIG, "protocol": "SA", "seed": 2}))
+        assert result.ok, result.describe()
+        assert result.writes_acked >= 1
+
+    def test_same_seed_replays_identically(self):
+        first = run(ChaosConfig(**CONFIG))
+        second = run(ChaosConfig(**CONFIG))
+        assert first.plan == second.plan
+        # The closed-loop outcome is a function of the seed alone.
+        assert first.writes_acked == second.writes_acked
+        assert first.writes_rejected == second.writes_rejected
+        assert first.reads_ok == second.reads_ok
+        assert first.latest_acked == second.latest_acked
+        assert first.ok and second.ok

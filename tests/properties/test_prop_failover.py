@@ -66,6 +66,13 @@ class FailoverMachine(RuleBasedStateMachine):
     def do_crash(self, processor):
         if processor in self.down:
             return
+        if self._live_holders() == {processor}:
+            # The majority floor alone is not the protocol's fault
+            # model: an outsider write lives on F ∪ {writer} only, and
+            # crashing every holder loses the object no matter how many
+            # other nodes survive.  The paper's adversary is bounded to
+            # t-1 copy-holder failures; mirror that bound here.
+            return
         self.injector.crash_now(processor)
         self.down.add(processor)
 
@@ -75,6 +82,15 @@ class FailoverMachine(RuleBasedStateMachine):
             return
         self.injector.recover_now(processor)
         self.down.discard(processor)
+
+    def _live_holders(self) -> set[int]:
+        latest = self.protocol.latest_version.number
+        return {
+            node.node_id
+            for node in self.network.live_nodes()
+            if node.database.peek_version() is not None
+            and node.database.peek_version().number == latest
+        }
 
     # -- safety invariants ------------------------------------------------------
 

@@ -1,0 +1,152 @@
+"""Unit: chaos plan generation — determinism and safety constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.plan import ChaosPlan, FaultEvent, generate_plan
+from repro.exceptions import ClusterError
+
+PROCESSORS = (1, 2, 3, 4, 5, 6, 7, 8)
+SCHEME = (1, 2, 3)
+PRIMARY = 3
+
+
+def make_plan(seed: int = 0, **overrides) -> ChaosPlan:
+    params = dict(
+        protocol="DA",
+        processors=PROCESSORS,
+        scheme=SCHEME,
+        primary=PRIMARY,
+        requests=200,
+        write_fraction=0.3,
+        seed=seed,
+        attempts=4,
+    )
+    params.update(overrides)
+    return generate_plan(**params)
+
+
+def crash_intervals(plan: ChaosPlan):
+    """Pair every crash with its matching recovery: (start, end, node)."""
+    opens = {}
+    intervals = []
+    for event in plan.events:
+        if event.kind == "crash":
+            assert event.node not in opens, "crash while already down"
+            opens[event.node] = event.at
+        elif event.kind == "recover":
+            assert event.node in opens, "recovery without crash"
+            intervals.append((opens.pop(event.node), event.at, event.node))
+    assert not opens, "unpaired crash left at end of schedule"
+    return intervals
+
+
+def partition_windows(plan: ChaosPlan):
+    start = None
+    windows = []
+    for event in plan.events:
+        if event.kind == "partition":
+            assert start is None, "overlapping partition windows"
+            start = event.at
+        elif event.kind == "heal":
+            assert start is not None
+            windows.append((start, event.at))
+            start = None
+    assert start is None, "partition never healed"
+    return windows
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        assert make_plan(seed=7) == make_plan(seed=7)
+
+    def test_different_seeds_differ(self):
+        seeds = [make_plan(seed=s).events for s in range(6)]
+        assert len(set(seeds)) > 1
+
+    def test_events_sorted_by_request_index(self):
+        ats = [event.at for event in make_plan(seed=3).events]
+        assert ats == sorted(ats)
+
+
+class TestConstraints:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_every_crash_is_paired(self, seed):
+        crash_intervals(make_plan(seed=seed))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_crash_concurrency_below_t(self, seed):
+        plan = make_plan(seed=seed)
+        t = len(plan.scheme)
+        intervals = crash_intervals(plan)
+        for at in range(plan.requests):
+            down = [n for s, e, n in intervals if s <= at <= e]
+            assert len(down) <= t - 1
+            # A core member and a scheme member always survive.
+            core = set(plan.scheme) - {plan.primary}
+            assert core - set(down)
+            assert set(plan.scheme) - set(down)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_crashes_avoid_partition_windows(self, seed):
+        plan = make_plan(seed=seed)
+        windows = partition_windows(plan)
+        for start, end, _ in crash_intervals(plan):
+            for w_start, w_end in windows:
+                assert end < w_start or start > w_end
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_partition_majority_keeps_scheme_and_primary(self, seed):
+        plan = make_plan(seed=seed)
+        for event in plan.events:
+            if event.kind != "partition":
+                continue
+            majority = set(event.groups[0])
+            assert set(plan.scheme) <= majority
+            assert plan.primary in majority
+            # Groups partition a subset of the processors disjointly.
+            minority = set(event.groups[1])
+            assert not majority & minority
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_drop_budgets_leave_one_attempt(self, seed):
+        attempts = 4
+        plan = make_plan(seed=seed, attempts=attempts)
+        for event in plan.events:
+            if event.kind != "drops":
+                continue
+            for sender, receiver, budget in event.budgets:
+                assert sender != receiver
+                assert 1 <= budget <= attempts - 1
+
+
+class TestValidation:
+    def test_too_few_requests_rejected(self):
+        with pytest.raises(ClusterError):
+            make_plan(requests=10)
+
+    def test_primary_must_be_in_scheme(self):
+        with pytest.raises(ClusterError):
+            make_plan(primary=8)
+
+
+class TestRendering:
+    def test_describe_covers_every_event(self):
+        plan = make_plan(seed=1)
+        text = plan.describe()
+        assert f"seed {plan.seed}" in text
+        for event in plan.events:
+            assert event.describe() in text
+
+    def test_events_at_filters_by_index(self):
+        plan = make_plan(seed=1)
+        event = plan.events[0]
+        assert event in plan.events_at(event.at)
+        assert plan.events_at(-1) == []
+
+    def test_fault_event_describe_forms(self):
+        assert "crash node 2" in FaultEvent(at=5, kind="crash", node=2).describe()
+        assert "heal" in FaultEvent(at=9, kind="heal").describe()
+        drops = FaultEvent(at=3, kind="drops", budgets=((1, 2, 3),))
+        assert "1->2x3" in drops.describe()

@@ -99,6 +99,23 @@ class TestFaultPlan:
         )
         json.dumps(plan.to_wire())
 
+    def test_partially_consumed_budget_survives_wire_round_trip(self):
+        # A retrying sender re-installs plans mid-run: the decremented
+        # drop_next budgets must serialize as-is, not reset.
+        plan = FaultPlan(drop_next={(1, 2): 3, (2, 1): 1})
+        assert plan.should_drop(1, 2)
+        assert plan.should_drop(2, 1)
+        clone = FaultPlan.from_wire(plan.to_wire())
+        assert clone.drop_next == {(1, 2): 2, (2, 1): 0}
+
+    def test_budget_exhaustion_after_round_trip(self):
+        plan = FaultPlan(drop_next={(1, 2): 2})
+        assert plan.should_drop(1, 2)
+        clone = FaultPlan.from_wire(plan.to_wire())
+        assert clone.should_drop(1, 2)  # one unit of budget left
+        assert not clone.should_drop(1, 2)  # now spent
+        assert not clone.should_drop(1, 2)  # and stays spent
+
 
 class TestNodeMetrics:
     def test_charges_by_message_class(self):

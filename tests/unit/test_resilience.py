@@ -1,0 +1,132 @@
+"""Unit: retry policy backoff, dedup cache, and injector shutdown."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.resilience import DedupCache, RetryPolicy
+from repro.distsim.failures import FailureInjector
+from repro.distsim.network import Network
+from repro.distsim.simulator import Simulator
+from repro.exceptions import ClusterError
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ClusterError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ClusterError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ClusterError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(k, rng) for k in range(5)]
+        assert delays[:3] == [0.1, 0.2, 0.4]
+        assert delays[3] == delays[4] == 0.5  # capped
+
+    def test_jitter_only_shrinks_and_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0, jitter=0.5)
+
+        def draw():
+            rng = random.Random(42)
+            return [policy.backoff(k, rng) for k in range(16)]
+
+        first, second = draw(), draw()
+        assert first == second
+        assert all(0.05 <= delay <= 0.1 for delay in first)
+        assert len(set(first)) > 1  # jitter actually varies
+
+    def test_rng_for_streams_are_disjoint(self):
+        policy = RetryPolicy(seed=3)
+        a = [policy.rng_for(1).random() for _ in range(4)]
+        b = [policy.rng_for(2).random() for _ in range(4)]
+        assert a != b
+        # ... but stable per node:
+        assert a == [policy.rng_for(1).random() for _ in range(4)]
+
+    def test_wire_round_trip(self):
+        policy = RetryPolicy(
+            attempts=6,
+            base_delay=0.01,
+            multiplier=3.0,
+            max_delay=0.2,
+            jitter=0.25,
+            seed=11,
+        )
+        assert RetryPolicy.from_wire(policy.to_wire()) == policy
+
+
+class TestDedupCache:
+    def test_store_and_lookup(self):
+        cache = DedupCache(capacity=4)
+        cache.store(7, {"ok": True})
+        assert 7 in cache
+        assert cache.lookup(7) == {"ok": True}
+        assert cache.lookup(8) is None
+
+    def test_capacity_evicts_oldest(self):
+        cache = DedupCache(capacity=2)
+        cache.store(1, "a")
+        cache.store(2, "b")
+        cache.store(3, "c")
+        assert 1 not in cache
+        assert cache.lookup(2) == "b"
+        assert cache.lookup(3) == "c"
+        assert len(cache) == 2
+
+    def test_overwrite_does_not_evict(self):
+        cache = DedupCache(capacity=2)
+        cache.store(1, "a")
+        cache.store(2, "b")
+        cache.store(1, "a2")  # refresh, not insert
+        assert cache.lookup(1) == "a2"
+        assert cache.lookup(2) == "b"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ClusterError):
+            DedupCache(capacity=0)
+
+
+class TestFailureInjectorShutdown:
+    def _network(self):
+        simulator = Simulator()
+        network = Network(simulator)
+        network.add_nodes([1, 2, 3])
+        return simulator, network
+
+    def test_shutdown_cancels_pending_timers(self):
+        simulator, network = self._network()
+        injector = FailureInjector(network)
+        injector.schedule_crash(1, delay=5.0)
+        injector.schedule_crash(2, delay=6.0)
+        injector.schedule_recovery(1, delay=9.0)
+        assert injector.shutdown() == 3
+        simulator.run()
+        assert injector.crash_count == 0
+        assert network.node(1).alive and network.node(2).alive
+
+    def test_fired_timers_remove_themselves(self):
+        simulator, network = self._network()
+        injector = FailureInjector(network)
+        injector.schedule_crash(1, delay=1.0)
+        injector.schedule_recovery(1, delay=2.0)
+        simulator.run()
+        assert injector.crash_count == 1
+        assert injector.recovery_count == 1
+        assert injector.shutdown() == 0  # nothing left to cancel
+
+    def test_shutdown_is_idempotent(self):
+        simulator, network = self._network()
+        injector = FailureInjector(network)
+        injector.schedule_crash(3, delay=4.0)
+        assert injector.shutdown() == 1
+        assert injector.shutdown() == 0
