@@ -15,16 +15,27 @@ fault event, and checks invariants the paper's model implies:
   reachable processors hold a valid copy;
 * **join-list consistency** (DA) — every live non-core holder of a
   valid copy is recorded in some live core member's join-list, so a
-  future write will invalidate it.
+  future write will invalidate it;
+* **no lost durable state** (``--durable``) — a ``log-fresh`` rejoin
+  restores only versions the harness issued, never older than the
+  latest acknowledged write, and a node's stored version never drops
+  below its restored floor afterwards.
+
+With ``--durable`` every node journals to a WAL (see
+``docs/durability.md``) and the plan may additionally schedule
+``torn``/``corrupt`` events that damage a crashed node's log before it
+replays — exercising the CRC truncate-at-damage path.
 
 Everything is derived from the seed, so a failing run can be replayed
 exactly (``repro chaos --seed N``); wall-clock timings differ between
-runs, the schedule, workload and fault decisions do not.
+runs, the schedule, workload and fault decisions do not.  Plans
+serialize with a ``schema_version`` (``--plan-only --plan-json``), so
+a saved schedule replays across releases.
 """
 
 from repro.chaos.harness import ChaosConfig, ChaosResult, run_chaos
 from repro.chaos.invariants import InvariantTracker, Violation
-from repro.chaos.plan import ChaosPlan, FaultEvent, generate_plan
+from repro.chaos.plan import SCHEMA_VERSION, ChaosPlan, FaultEvent, generate_plan
 
 __all__ = [
     "ChaosConfig",
@@ -32,6 +43,7 @@ __all__ = [
     "ChaosResult",
     "FaultEvent",
     "InvariantTracker",
+    "SCHEMA_VERSION",
     "Violation",
     "generate_plan",
     "run_chaos",

@@ -11,6 +11,7 @@ useful for inspecting what a seed would do before replaying it.
 from __future__ import annotations
 
 import asyncio
+import json
 
 from repro.chaos.harness import ChaosConfig, run_chaos
 
@@ -29,9 +30,16 @@ def cmd_chaos(args) -> int:
         drop_probability=args.drop_probability,
         attempts=args.attempts,
         transport=args.transport,
+        durable=args.durable,
+        state_dir=args.state_dir,
+        torn_writes=args.torn_writes,
     )
     if args.plan_only:
-        print(config.build_plan().describe())
+        plan = config.build_plan()
+        if args.plan_json:
+            print(json.dumps(plan.to_wire(), indent=2, sort_keys=True))
+        else:
+            print(plan.describe())
         return 0
     result = asyncio.run(run_chaos(config))
     print(result.describe())
@@ -90,7 +98,28 @@ def add_chaos_parser(subparsers) -> None:
         "--transport", choices=["auto", "unix", "tcp"], default="auto"
     )
     chaos.add_argument(
+        "--durable", action="store_true",
+        help="give every node a WAL + snapshots; recoveries take the "
+             "tiered log-replay path (see docs/durability.md)",
+    )
+    chaos.add_argument(
+        "--state-dir", default=None,
+        help="root for the per-node WALs (implies --durable; default: "
+             "a temp dir owned by the run)",
+    )
+    chaos.add_argument(
+        "--torn-writes", type=int, default=None,
+        help="damaged-log events (torn tails / flipped bytes) on "
+             "crashed nodes' WALs; needs --durable "
+             "(default: 2 when durable, else 0)",
+    )
+    chaos.add_argument(
         "--plan-only", action="store_true",
         help="print the generated fault schedule and exit",
+    )
+    chaos.add_argument(
+        "--plan-json", action="store_true",
+        help="with --plan-only: emit the plan as versioned JSON "
+             "(ChaosPlan.to_wire, replayable across releases)",
     )
     chaos.set_defaults(handler=cmd_chaos)

@@ -23,19 +23,26 @@ from __future__ import annotations
 
 import asyncio
 import random
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.invariants import InvariantTracker, Violation
 from repro.chaos.plan import ChaosPlan, FaultEvent, generate_plan
+from repro.cluster.durability import wal_path
 from repro.cluster.launcher import ClusterSpec, start_local_cluster
 from repro.cluster.loadgen import ClusterClient, RequestOutcome
-from repro.cluster.metrics import resilience_totals
+from repro.cluster.metrics import durability_totals, resilience_totals
 from repro.cluster.resilience import RetryPolicy, SchemeRepairer
 from repro.cluster.transport import FaultPlan
 from repro.distsim.statistics import SimulationStats
-from repro.exceptions import ClusterError
+from repro.exceptions import ClusterError, StorageError
 from repro.storage.versions import ObjectVersion
+from repro.storage.wal import inject_tail_corruption, inject_torn_tail
+
+#: Damaged-log events a durable chaos run schedules when the caller
+#: does not pick a count (capped by the number of crash intervals).
+DEFAULT_TORN_WRITES = 2
 
 
 @dataclass
@@ -59,6 +66,15 @@ class ChaosConfig:
     transport: str = "auto"
     exec_timeout: float = 15.0
     client_timeout: float = 20.0
+    #: Give every node a WAL + snapshots and route recoveries through
+    #: the tiered log-replay path (see docs/durability.md).
+    durable: bool = False
+    #: Where the per-node state dirs live; ``None`` = a temp dir owned
+    #: by the run.  Setting this implies ``durable``.
+    state_dir: Optional[str] = None
+    #: Damaged-log events (torn tails / flipped bytes) to schedule on
+    #: crashed nodes' WALs; ``None`` = a durable default, 0 disables.
+    torn_writes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -67,6 +83,12 @@ class ChaosConfig:
             raise ClusterError("need 2 <= t <= nodes")
         if self.attempts < 2:
             raise ClusterError("chaos needs at least two attempts to retry")
+        if self.state_dir is not None:
+            self.durable = True
+        if self.torn_writes and not self.durable:
+            raise ClusterError(
+                "--torn-writes shears write-ahead logs: it needs --durable"
+            )
 
     @property
     def processors(self) -> Tuple[int, ...]:
@@ -79,6 +101,14 @@ class ChaosConfig:
     @property
     def primary(self) -> int:
         return max(self.scheme)
+
+    @property
+    def effective_torn_writes(self) -> int:
+        if not self.durable:
+            return 0
+        if self.torn_writes is None:
+            return DEFAULT_TORN_WRITES
+        return self.torn_writes
 
     def build_plan(self) -> ChaosPlan:
         return generate_plan(
@@ -94,6 +124,7 @@ class ChaosConfig:
             drop_bursts=self.drop_bursts,
             drop_probability=self.drop_probability,
             attempts=self.attempts,
+            torn_writes=self.effective_torn_writes,
         )
 
 
@@ -112,6 +143,10 @@ class ChaosResult:
     client_retries: int
     stats: SimulationStats
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: WAL/snapshot counters (durable runs only; see durability_totals).
+    durability: Dict[str, int] = field(default_factory=dict)
+    #: How often each recovery tier fired (``log-fresh`` etc.).
+    recovery_tiers: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -143,6 +178,20 @@ class ChaosResult:
                 f"{self.stats.dropped_messages} drops"
             ),
         ]
+        if self.durability:
+            tiers = ", ".join(
+                f"{tier} x{count}"
+                for tier, count in sorted(self.recovery_tiers.items())
+            ) or "none"
+            lines.append(
+                f"durability: {self.durability.get('wal_appends', 0)} WAL "
+                f"appends, {self.durability.get('snapshots_written', 0)} "
+                f"snapshots, {self.durability.get('wal_replayed', 0)} "
+                f"records replayed, "
+                f"{self.durability.get('wal_truncations', 0)} damage "
+                f"truncations, {self.durability.get('fresh_rejoins', 0)} "
+                f"fresh rejoins; recoveries: {tiers}"
+            )
         if self.violations:
             lines.append(f"INVARIANT VIOLATIONS ({len(self.violations)}):")
             lines += ["  " + violation.describe() for violation in self.violations]
@@ -211,6 +260,11 @@ async def run_chaos(config: ChaosConfig) -> ChaosResult:
         max_delay=0.08,
         seed=config.seed,
     )
+    tempdir: Optional[tempfile.TemporaryDirectory] = None
+    state_root = config.state_dir
+    if config.durable and state_root is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        state_root = tempdir.name
     spec = ClusterSpec(
         processors=plan.processors,
         scheme=frozenset(plan.scheme),
@@ -219,6 +273,7 @@ async def run_chaos(config: ChaosConfig) -> ChaosResult:
         transport=config.transport,
         exec_timeout=config.exec_timeout,
         resilience=policy,
+        state_dir=state_root if config.durable else None,
     )
     cluster = await start_local_cluster(spec)
     client = ClusterClient(
@@ -244,14 +299,34 @@ async def run_chaos(config: ChaosConfig) -> ChaosResult:
         tracker.check_repair(at, report)
         statuses = await cluster.status_all(nodes=faults.majority)
         tracker.check_join_lists(at, statuses)
+        tracker.check_durable_floors(at, statuses)
 
     async def apply_event(event: FaultEvent) -> None:
         if event.kind == "crash":
             await cluster.crash(event.node)
             crashed.add(event.node)
         elif event.kind == "recover":
-            await cluster.recover(event.node)
+            reply = await cluster.recover(event.node)
+            tracker.check_recovery(event.at, event.node, reply)
             crashed.discard(event.node)
+        elif event.kind in ("torn", "corrupt"):
+            # Damage the crashed victim's WAL tail — latent until the
+            # CRC framing detects it at replay time.  No repair round:
+            # nothing observable changed yet.  A victim that never
+            # journaled anything has no log to damage; skip.
+            if state_root is None:
+                return
+            path = wal_path(state_root, event.node)
+            try:
+                if event.kind == "torn":
+                    inject_torn_tail(path, event.amount)
+                else:
+                    inject_tail_corruption(
+                        path, offset_from_end=event.amount
+                    )
+            except StorageError:
+                pass
+            return
         elif event.kind == "partition":
             await faults.set_partition(event.groups)
         elif event.kind == "heal":
@@ -289,7 +364,8 @@ async def run_chaos(config: ChaosConfig) -> ChaosResult:
         # version (or a newer issued one that landed without its ack).
         await faults.clear_all()
         for node_id in sorted(crashed):
-            await cluster.recover(node_id)
+            reply = await cluster.recover(node_id)
+            tracker.check_recovery(plan.requests + 1, node_id, reply)
         crashed.clear()
         await repair_and_check(plan.requests + 1)
         for node_id in plan.processors:
@@ -310,9 +386,14 @@ async def run_chaos(config: ChaosConfig) -> ChaosResult:
         metrics = await cluster.metrics()
         stats = await cluster.aggregate_stats()
         extras = resilience_totals(metrics.values())
+        durability = (
+            durability_totals(metrics.values()) if config.durable else {}
+        )
     finally:
         await client.close()
         await cluster.stop()
+        if tempdir is not None:
+            tempdir.cleanup()
 
     return ChaosResult(
         plan=plan,
@@ -326,4 +407,6 @@ async def run_chaos(config: ChaosConfig) -> ChaosResult:
         client_retries=client_retries,
         stats=stats,
         resilience=extras,
+        durability=durability,
+        recovery_tiers=dict(tracker.recovery_tiers),
     )

@@ -16,7 +16,7 @@ violate them — that is exactly what the next round repairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.cluster.loadgen import RequestOutcome
 
@@ -50,6 +50,14 @@ class InvariantTracker:
     writes_rejected: int = 0
     reads_ok: int = 0
     reads_failed: int = 0
+    #: Per-node durable floor: the version number a ``log-fresh``
+    #: recovery restored from the local log.  A node's stored version
+    #: may only grow from there — regressing below the floor would mean
+    #: durable state was lost after the log had proven it survived.
+    durable_floors: Dict[int, int] = field(default_factory=dict)
+    #: Recovery-tier histogram (``log-fresh``, ``log-stale``, ...),
+    #: reported in the chaos result for auditing.
+    recovery_tiers: Dict[str, int] = field(default_factory=dict)
 
     def _flag(self, invariant: str, at: int, detail: str) -> None:
         self.violations.append(Violation(invariant, at, detail))
@@ -130,6 +138,62 @@ class InvariantTracker:
                 f"valid-copy holders {orphans} are in no live core "
                 f"member's join-list (recorded: {sorted(recorded)})",
             )
+
+    # -- durability checks -------------------------------------------------
+
+    def check_recovery(
+        self, at: int, node: int, reply: Mapping[str, Any]
+    ) -> None:
+        """No lost durable state: a ``log-fresh`` rejoin may only
+        restore a version the harness actually issued, and never one
+        older than the latest acknowledged write — either would mean
+        the node is serving durable state that cannot be real."""
+        tier = str(reply.get("tier", "volatile"))
+        self.recovery_tiers[tier] = self.recovery_tiers.get(tier, 0) + 1
+        if tier != "log-fresh":
+            return
+        version = reply.get("version") or {}
+        number = version.get("number")
+        if number is None or int(number) not in self.issued:
+            self._flag(
+                "no-lost-durable-state",
+                at,
+                f"node {node} fresh-rejoined with version {number}, "
+                "which was never issued",
+            )
+            return
+        number = int(number)
+        if number < self.latest_acked:
+            self._flag(
+                "no-lost-durable-state",
+                at,
+                f"node {node} fresh-rejoined with version {number} < "
+                f"latest acknowledged {self.latest_acked} — the "
+                "freshness probe vouched for stale state",
+            )
+            return
+        self.durable_floors[node] = max(
+            number, self.durable_floors.get(node, 0)
+        )
+
+    def check_durable_floors(
+        self, at: int, statuses: Mapping[int, Mapping[str, Any]]
+    ) -> None:
+        """A node that fresh-rejoined at version ``f`` must never store
+        a version below ``f`` again (stored versions only grow)."""
+        for node, floor in sorted(self.durable_floors.items()):
+            status = statuses.get(node)
+            if status is None or status.get("crashed"):
+                continue
+            version = status.get("version") or {}
+            number = version.get("number")
+            if number is not None and int(number) < floor:
+                self._flag(
+                    "no-lost-durable-state",
+                    at,
+                    f"node {node} stores version {number}, below its "
+                    f"durable floor {floor} from a log-fresh rejoin",
+                )
 
     @property
     def ok(self) -> bool:

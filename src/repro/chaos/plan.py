@@ -25,9 +25,33 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ClusterError
+
+#: Wire-format version of a serialized :class:`ChaosPlan`.  Bumped when
+#: the plan schema changes shape; ``from_wire`` accepts every version up
+#: to the current one (older plans deserialize with defaults) and
+#: rejects newer ones, so saved ``--plan-only`` schedules replay across
+#: releases.  History: 1 = PR-4 plans (implicit, no version field);
+#: 2 = adds ``schema_version``, ``FaultEvent.amount`` and the
+#: ``torn``/``corrupt`` durability-damage kinds.
+SCHEMA_VERSION = 2
+
+#: Ordering of simultaneous events (same ``at``).  Mirrors the PR-4
+#: alphabetical order for the original kinds — existing seeds replay
+#: byte-identically — and slots WAL damage (``torn``/``corrupt``)
+#: *before* ``recover``, because damage inflicted on a crashed node's
+#: log must be on disk before that node replays it.
+_KIND_PRIORITY = {
+    "crash": 0,
+    "drops": 1,
+    "heal": 2,
+    "partition": 3,
+    "torn": 4,
+    "corrupt": 4,
+    "recover": 5,
+}
 
 
 @dataclass(frozen=True)
@@ -35,8 +59,11 @@ class FaultEvent:
     """One scheduled fault, applied *before* request ``at`` is issued.
 
     ``kind`` is one of ``crash`` / ``recover`` (``node`` set),
-    ``partition`` / ``heal`` (``groups`` set for ``partition``), or
-    ``drops`` (``budgets`` maps directed links to drop-next counts).
+    ``partition`` / ``heal`` (``groups`` set for ``partition``),
+    ``drops`` (``budgets`` maps directed links to drop-next counts), or
+    ``torn`` / ``corrupt`` (``node`` and ``amount`` set: shear
+    ``amount`` bytes off / flip a byte ``amount`` from the end of a
+    crashed node's write-ahead log before it recovers).
     """
 
     at: int
@@ -44,10 +71,21 @@ class FaultEvent:
     node: Optional[int] = None
     groups: Tuple[Tuple[int, ...], ...] = ()
     budgets: Tuple[Tuple[int, int, int], ...] = ()
+    amount: int = 0
 
     def describe(self) -> str:
         if self.kind in ("crash", "recover"):
             return f"@{self.at} {self.kind} node {self.node}"
+        if self.kind == "torn":
+            return (
+                f"@{self.at} torn write: shear {self.amount} byte(s) "
+                f"off node {self.node}'s log"
+            )
+        if self.kind == "corrupt":
+            return (
+                f"@{self.at} corrupt: flip byte -{self.amount} of "
+                f"node {self.node}'s log"
+            )
         if self.kind == "partition":
             rendered = " | ".join(str(list(group)) for group in self.groups)
             return f"@{self.at} partition {rendered}"
@@ -55,6 +93,33 @@ class FaultEvent:
             return f"@{self.at} heal partition"
         links = ", ".join(f"{s}->{r}x{n}" for s, r, n in self.budgets)
         return f"@{self.at} drop bursts {links}"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "node": self.node,
+            "groups": [list(group) for group in self.groups],
+            "budgets": [list(budget) for budget in self.budgets],
+            "amount": self.amount,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            at=int(wire["at"]),
+            kind=str(wire["kind"]),
+            node=None if wire.get("node") is None else int(wire["node"]),
+            groups=tuple(
+                tuple(int(p) for p in group)
+                for group in wire.get("groups", ())
+            ),
+            budgets=tuple(
+                (int(s), int(r), int(n))
+                for s, r, n in wire.get("budgets", ())
+            ),
+            amount=int(wire.get("amount", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -70,19 +135,67 @@ class ChaosPlan:
     write_fraction: float
     drop_probability: float
     events: Tuple[FaultEvent, ...] = ()
+    schema_version: int = SCHEMA_VERSION
 
     def events_at(self, index: int) -> List[FaultEvent]:
         return [event for event in self.events if event.at == index]
 
     def describe(self) -> str:
         lines = [
-            f"chaos plan (seed {self.seed}): {self.protocol} on "
+            f"chaos plan (seed {self.seed}, schema v{self.schema_version}): "
+            f"{self.protocol} on "
             f"{len(self.processors)} nodes, scheme {list(self.scheme)}, "
             f"primary {self.primary}, {self.requests} requests, "
             f"p(drop)={self.drop_probability}",
         ]
         lines += ["  " + event.describe() for event in self.events]
         return "\n".join(lines)
+
+    # -- serialization (`repro chaos --plan-only --save`) ------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-ready dict, stable across releases (see SCHEMA_VERSION)."""
+        return {
+            "schema_version": self.schema_version,
+            "seed": self.seed,
+            "protocol": self.protocol,
+            "processors": list(self.processors),
+            "scheme": list(self.scheme),
+            "primary": self.primary,
+            "requests": self.requests,
+            "write_fraction": self.write_fraction,
+            "drop_probability": self.drop_probability,
+            "events": [event.to_wire() for event in self.events],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "ChaosPlan":
+        """Rebuild a saved plan; refuse schemas newer than this release.
+
+        Plans saved before the version field existed (PR-4) carry no
+        ``schema_version`` key and deserialize as version 1.
+        """
+        version = int(wire.get("schema_version", 1))
+        if version > SCHEMA_VERSION:
+            raise ClusterError(
+                f"chaos plan schema v{version} is newer than this "
+                f"release understands (max v{SCHEMA_VERSION}); "
+                "regenerate the plan or upgrade"
+            )
+        return cls(
+            seed=int(wire["seed"]),
+            protocol=str(wire["protocol"]),
+            processors=tuple(int(p) for p in wire["processors"]),
+            scheme=tuple(int(p) for p in wire["scheme"]),
+            primary=int(wire["primary"]),
+            requests=int(wire["requests"]),
+            write_fraction=float(wire["write_fraction"]),
+            drop_probability=float(wire["drop_probability"]),
+            events=tuple(
+                FaultEvent.from_wire(event) for event in wire["events"]
+            ),
+            schema_version=version,
+        )
 
 
 def _inside(index: int, windows: Sequence[Tuple[int, int]]) -> bool:
@@ -102,8 +215,17 @@ def generate_plan(
     drop_bursts: Optional[int] = None,
     drop_probability: float = 0.02,
     attempts: int = 4,
+    torn_writes: int = 0,
 ) -> ChaosPlan:
-    """Derive a fault schedule from a seed under the safety constraints."""
+    """Derive a fault schedule from a seed under the safety constraints.
+
+    ``torn_writes`` > 0 additionally damages up to that many crashed
+    nodes' write-ahead logs (a torn tail or a flipped byte) right
+    before they recover — only meaningful when the cluster runs with a
+    ``state_dir``.  The damage draws happen *after* every other draw,
+    so for any seed the ``torn_writes=0`` plan is a strict prefix of
+    the damaged one: existing saved seeds replay unchanged.
+    """
     processors = tuple(sorted(int(p) for p in processors))
     scheme_t = tuple(sorted(int(p) for p in scheme))
     if requests < 20:
@@ -207,7 +329,31 @@ def generate_plan(
             )
         )
 
-    events.sort(key=lambda event: (event.at, event.kind, event.node or 0))
+    # WAL damage last, so every RNG draw above is independent of
+    # ``torn_writes`` (determinism contract in the docstring).  Each
+    # damaged node gets its event at the *end* of its crash interval:
+    # the log is sheared/flipped while the node is still down, and the
+    # kind-priority sort applies it before the recover at that index.
+    if torn_writes > 0 and intervals:
+        count = min(torn_writes, len(intervals))
+        picks = sorted(rng.sample(range(len(intervals)), count))
+        for pick in picks:
+            _, end, victim = intervals[pick]
+            if rng.random() < 0.5:
+                kind, amount = "torn", rng.randint(1, 32)
+            else:
+                kind, amount = "corrupt", rng.randint(1, 8)
+            events.append(
+                FaultEvent(at=end, kind=kind, node=victim, amount=amount)
+            )
+
+    events.sort(
+        key=lambda event: (
+            event.at,
+            _KIND_PRIORITY.get(event.kind, len(_KIND_PRIORITY)),
+            event.node or 0,
+        )
+    )
     return ChaosPlan(
         seed=seed,
         protocol=protocol.strip().upper(),

@@ -16,6 +16,13 @@ node-side dedup, read failover, typed degraded-write rejection, and a
 paper's ``t``-availability after crashes.  Fault-free runs stay
 bit-identical with or without it.  See ``docs/chaos.md``.
 
+Durability is likewise opt-in (``state_dir`` on the spec /
+``--state-dir`` on the CLI): every correctness-relevant transition is
+journaled to a CRC-checksummed write-ahead log before the node acks,
+compacted into snapshots, and replayed on restart through a tiered
+recovery path that can rejoin a fresh node with *zero* data messages.
+See ``docs/durability.md``.
+
 See ``docs/cluster.md`` for the architecture and wire format.
 """
 
@@ -35,9 +42,17 @@ from repro.cluster.loadgen import (
     poisson_load,
     replay_schedule,
 )
+from repro.cluster.durability import (
+    DurableState,
+    NodeDurability,
+    node_state_dir,
+    snapshot_path,
+    wal_path,
+)
 from repro.cluster.metrics import (
     NodeMetrics,
     aggregate,
+    durability_totals,
     latency_histogram,
     resilience_totals,
 )
@@ -62,6 +77,7 @@ __all__ = [
     "ClusterHandle",
     "ClusterSpec",
     "DedupCache",
+    "DurableState",
     "FaultPlan",
     "LiveDynamicAllocation",
     "LiveProtocol",
@@ -69,6 +85,7 @@ __all__ = [
     "LoadResult",
     "LocalCluster",
     "NodeConfig",
+    "NodeDurability",
     "NodeMetrics",
     "NodeServer",
     "PeerTransport",
@@ -78,12 +95,16 @@ __all__ = [
     "SchemeRepairer",
     "SubprocessCluster",
     "aggregate",
+    "durability_totals",
     "latency_histogram",
     "make_live_protocol",
+    "node_state_dir",
     "resilience_totals",
     "poisson_load",
     "replay_schedule",
+    "snapshot_path",
     "start_cluster",
     "start_local_cluster",
     "start_subprocess_cluster",
+    "wal_path",
 ]

@@ -59,6 +59,8 @@ def cmd_cluster_serve(args) -> int:
         primary=args.primary,
         address=Address.parse(args.listen),
         exec_timeout=args.exec_timeout,
+        state_dir=args.state_dir,
+        snapshot_every=args.snapshot_every,
     )
 
     async def serve() -> None:
@@ -104,6 +106,8 @@ def _cluster_spec(args, schedule=None) -> ClusterSpec:
         transport=args.transport,
         exec_timeout=args.exec_timeout,
         resilience=resilience,
+        state_dir=getattr(args, "state_dir", None),
+        snapshot_every=getattr(args, "snapshot_every", 64),
     )
 
 
@@ -315,6 +319,15 @@ def add_cluster_parser(subparsers, scheme_type) -> None:
         parser.add_argument(
             "--exec-timeout", type=float, default=15.0,
             help="per-request hard timeout at the node, seconds",
+        )
+        parser.add_argument(
+            "--state-dir", default=None,
+            help="root directory for per-node WAL + snapshots "
+                 "(enables durability; see docs/durability.md)",
+        )
+        parser.add_argument(
+            "--snapshot-every", type=int, default=64,
+            help="compact the WAL into a snapshot every N records",
         )
         if with_nodes:
             parser.add_argument(

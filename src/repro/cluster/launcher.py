@@ -72,6 +72,14 @@ class ClusterSpec:
     #: that behave byte-identically to clusters without the resilience
     #: layer — the fault-free parity contract.
     resilience: Optional[RetryPolicy] = None
+    #: Opt-in durability: a directory each node journals its state
+    #: under (``<state_dir>/node-<id>/``).  ``None`` launches fully
+    #: volatile nodes, PR 4 behavior byte for byte; with a state dir,
+    #: fault-free traffic is still byte-identical — only recovery
+    #: changes (tiered log replay; see ``docs/durability.md``).
+    state_dir: Optional[str] = None
+    #: WAL records between snapshots on each durable node.
+    snapshot_every: int = 64
 
     def __post_init__(self) -> None:
         self.processors = tuple(sorted(set(int(p) for p in self.processors)))
@@ -93,6 +101,8 @@ class ClusterSpec:
             address=address,
             exec_timeout=self.exec_timeout,
             resilience=self.resilience,
+            state_dir=self.state_dir,
+            snapshot_every=self.snapshot_every,
         )
 
 
@@ -270,8 +280,11 @@ class ClusterHandle:
     async def crash(self, node_id: int) -> None:
         await self.admin(node_id, {"type": "crash"})
 
-    async def recover(self, node_id: int) -> None:
-        await self.admin(node_id, {"type": "recover"})
+    async def recover(self, node_id: int) -> Dict:
+        """Recover a crashed node; the reply reports the recovery tier
+        (``volatile``/``log-fresh``/``log-stale``/``log-empty``/
+        ``log-unverified``), replay counts and any log damage."""
+        return await self.admin(node_id, {"type": "recover"})
 
     async def shutdown_nodes(self) -> None:
         for node_id in self.spec.processors:
@@ -391,6 +404,13 @@ def _serve_command(spec: ClusterSpec, node_id: int, address: Address) -> List[st
     ]
     if spec.primary is not None:
         command += ["--primary", str(spec.primary)]
+    if spec.state_dir is not None:
+        command += [
+            "--state-dir",
+            spec.state_dir,
+            "--snapshot-every",
+            str(spec.snapshot_every),
+        ]
     return command
 
 

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import asyncio
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Set
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
 
+from repro.cluster.durability import DEFAULT_SNAPSHOT_EVERY, NodeDurability
 from repro.cluster.metrics import NodeMetrics
 from repro.cluster.protocol import make_live_protocol
 from repro.cluster.resilience import DedupCache, RetryPolicy
@@ -48,8 +50,14 @@ from repro.exceptions import (
     ProtocolError,
     StorageError,
 )
+from repro.distsim.messages import VersionInquiry, VersionReport
 from repro.storage.local_db import LocalDatabase
 from repro.storage.versions import ObjectVersion
+
+#: Request ids of recovery freshness probes.  Above the repairer's
+#: ``REPAIR_RID_BASE`` band, so a probe pending can collide with
+#: neither a client request nor a repair transfer.
+PROBE_RID_BASE = 2_000_000_000
 
 #: Admin frame types `_dispatch` routes to `_handle_admin`.
 ADMIN_FRAME_TYPES = frozenset(
@@ -86,6 +94,18 @@ class NodeConfig:
     #: behavior byte for byte — no retries, no dedup, no degraded-mode
     #: write rejection — which is what the parity invariant relies on.
     resilience: Optional[RetryPolicy] = None
+    #: Opt-in durability: the directory this node journals its state
+    #: under (``<state_dir>/node-<id>/``).  ``None`` keeps the node
+    #: fully volatile — PR 4's behavior, byte for byte.  With a state
+    #: dir, fault-free traffic is *still* byte-identical (appends are
+    #: uncharged riders on already-charged I/O); only recovery changes,
+    #: gaining the tiered log-replay path.
+    state_dir: Optional[str] = None
+    #: WAL records between snapshots (bounds replay length).
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+    #: fsync every WAL append.  Off by default: flush-only is durable
+    #: against the fail-stop process crashes the model simulates.
+    wal_sync: bool = False
 
 
 @dataclass
@@ -132,6 +152,45 @@ class _Relay:
     failed: bool = False
 
 
+class _JournaledSet(set):
+    """A set that reports each net membership change to a callback.
+
+    The DA join-list must survive crashes for the fresh-rejoin recovery
+    tier, so every mutation journals the *full* membership (idempotent
+    to fold, safe to truncate).  Only net changes notify: re-adding a
+    member or clearing an empty set appends nothing.
+    """
+
+    def __init__(self, notify) -> None:
+        super().__init__()
+        self._notify = notify
+
+    def add(self, item) -> None:
+        if item not in self:
+            super().add(item)
+            self._notify()
+
+    def discard(self, item) -> None:
+        if item in self:
+            super().discard(item)
+            self._notify()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._notify()
+
+    def update(self, items) -> None:
+        fresh = set(items) - self
+        if fresh:
+            super().update(fresh)
+            self._notify()
+
+    def clear(self) -> None:
+        if self:
+            super().clear()
+            self._notify()
+
+
 class NodeServer:
     """A live processor node serving one replicated object."""
 
@@ -143,8 +202,22 @@ class NodeServer:
             config.node_id, self.metrics, retry_policy=config.resilience
         )
         self.database = LocalDatabase(config.node_id)
-        #: DA volatile state: processors recorded as saving readers.
-        self.join_list: Set[int] = set()
+        #: Opt-in durable state (WAL + snapshots); None = fully volatile.
+        self.durability: Optional[NodeDurability] = None
+        #: Highest version number this node acknowledged a write for.
+        self._latest_commit = 0
+        if config.state_dir:
+            self.durability = NodeDurability(
+                config.node_id,
+                config.state_dir,
+                self.metrics,
+                snapshot_every=config.snapshot_every,
+                sync=config.wal_sync,
+            )
+            self.durability.snapshot_state = self._durable_snapshot_state
+        #: DA state: processors recorded as saving readers.  Journaled
+        #: when durability is on (volatile otherwise, as before).
+        self.join_list: Set[int] = _JournaledSet(self._journal_join_state)
         #: DA resilient state: a core member adopted into recording
         #: non-core holders after a repair round (see SchemeRepairer).
         self.steward = False
@@ -159,22 +232,80 @@ class NodeServer:
         self._inval_targets: Dict[int, Set[int]] = {}
         self._pending: Dict[int, PendingRequest] = {}
         self._relays: Dict[int, _Relay] = {}
+        #: In-flight recovery freshness probes by request id.
+        self._probes: Dict[int, asyncio.Future] = {}
+        self._probe_rid = PROBE_RID_BASE + config.node_id * 1_000_000
         self._server = None
         self.address: Optional[Address] = None
         self._tasks: Set[asyncio.Task] = set()
         self._connections: Set[asyncio.StreamWriter] = set()
         self._stopped = asyncio.Event()
+        # A restarting durable node resumes from its log instead of the
+        # launch seed.  Replay happens before the adapter is built so new
+        # appends land after the replayed suffix.
+        prior = self.durability.recover() if self.durability else None
+        has_state = prior is not None and not prior.empty
         # The adapter reads node state (join_list, database), so it is
-        # built last; it also validates scheme/primary.
-        self.protocol = make_live_protocol(config.protocol, self)
-        self._seed_initial_copy()
+        # built last; it also validates scheme/primary.  When restoring,
+        # its bookkeeping appends (e.g. the DA server seeding its
+        # join-list) are muted — the log already records reality.
+        mute = self.durability.muted() if has_state else nullcontext()
+        with mute:
+            self.protocol = make_live_protocol(config.protocol, self)
+        if has_state:
+            self._restore_durable(prior)
+        else:
+            self._seed_initial_copy()
 
     def _seed_initial_copy(self) -> None:
         """Install version 0 uncharged iff this node is in the initial
         scheme — byte-identical to the simulated drivers' seeding."""
         scheme = self.protocol.scheme
         if self.node_id in scheme:
-            self.database.seed(ObjectVersion(0, min(scheme)))
+            version = ObjectVersion(0, min(scheme))
+            self.database.seed(version)
+            if self.durability is not None:
+                self.durability.log_seed(version)
+
+    def _restore_durable(self, state) -> None:
+        """Resume from the durable state of a previous process.
+
+        The logged version is reinstalled but left *suspect* (invalid):
+        the peer mesh is not wired yet, so no freshness probe can run —
+        the next repair round (or a crash/recover cycle, which probes)
+        revalidates or refreshes it.  Replay is charged into
+        ``io_reads``, the paper's ``c_io``, never into messages.
+        """
+        assert self.durability is not None
+        with self.durability.muted():
+            if state.version is not None:
+                self.database.seed(state.version)
+                self.database.invalidate()
+            if state.scheme and set(state.scheme) != set(self.protocol.scheme):
+                # Only SA ever journals scheme growth; DA's static
+                # scheme never reaches this branch.
+                self.protocol.update_scheme(state.scheme)
+            self.join_list.clear()
+            self.join_list.update(state.join_list)
+            self.steward = state.steward
+        self._latest_commit = state.latest_commit
+        self.metrics.io_reads += state.replay_cost
+
+    # -- durability plumbing -----------------------------------------------
+
+    def _journal_join_state(self) -> None:
+        if self.durability is not None:
+            self.durability.log_join(self.join_list, self.steward)
+
+    def _durable_snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "version": version_to_wire(self.database.peek_version()),
+            "valid": self.database.holds_valid_copy,
+            "join_list": sorted(self.join_list),
+            "steward": self.steward,
+            "scheme": sorted(self.protocol.scheme),
+            "latest_commit": self._latest_commit,
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -207,6 +338,8 @@ class NodeServer:
         for writer in list(self._connections):
             writer.close()
         await self.transport.close()
+        if self.durability is not None:
+            self.durability.close()
 
     # -- connection pump ---------------------------------------------------
 
@@ -256,6 +389,10 @@ class NodeServer:
         elif kind == "repair_send":
             # Async admin: the reply waits for the peer-plane transfer.
             self._spawn(self._handle_repair_send(frame, writer, lock))
+        elif kind == "recover":
+            # Async admin too: durable recovery replays the log and may
+            # run a freshness probe round against a peer.
+            self._spawn(self._handle_recover(frame, writer, lock))
         elif kind in ADMIN_FRAME_TYPES:
             await self._handle_admin(kind, frame, writer, lock)
         else:
@@ -308,6 +445,12 @@ class NodeServer:
             )
             self.metrics.requests_completed += 1
             self.metrics.latencies.append(time.monotonic() - started)
+            if frame.get("op") == "write" and version is not None:
+                # Journal the commit *before* the ack leaves the node:
+                # an acknowledged write must be recoverable from the log.
+                self._latest_commit = max(self._latest_commit, version.number)
+                if self.durability is not None:
+                    self.durability.log_commit(rid, version.number)
             payload = {
                 "type": "result",
                 "rid": rid,
@@ -392,6 +535,14 @@ class NodeServer:
                 # invalidation could NOT be confirmed).
                 self.join_list.discard(source)
             await self.finish_relay_unit(rid, failed=failed)
+            return
+        if rid in self._probes:
+            # A freshness probe's peer was crashed (or its report was
+            # lost): settle the probe empty so recovery tries the next
+            # candidate or falls back to the stale tier.
+            future = self._probes[rid]
+            if not future.done():
+                future.set_result(None)
             return
         pending = self._pending.get(rid)
         if pending is None:
@@ -481,19 +632,26 @@ class NodeServer:
                 "steward": self.steward,
                 "scheme": sorted(self.protocol.scheme),
                 "protocol": self.protocol.name,
+                "durable": self.durability is not None,
+                "latest_commit": self._latest_commit,
             }
         if kind == "adopt":
             if self.crashed:
                 raise ClusterError(
                     f"node {self.node_id} is crashed and cannot adopt"
                 )
-            self.join_list.update(int(n) for n in frame.get("nodes", ()))
-            if bool(frame.get("steward", False)):
+            if bool(frame.get("steward", False)) and not self.steward:
+                # Flip the flag before the membership update so the
+                # journaled join record carries the steward bit.
                 self.steward = True
+                self._journal_join_state()
+            self.join_list.update(int(n) for n in frame.get("nodes", ()))
             return {"type": "ok", "op": "adopt"}
         if kind == "set_scheme":
             members = frozenset(int(n) for n in frame.get("scheme", ()))
             self.protocol.update_scheme(members)
+            if self.durability is not None:
+                self.durability.log_scheme(members)
             return {"type": "ok", "op": "set_scheme"}
         if kind == "reset_metrics":
             self.reset_metrics()
@@ -501,9 +659,6 @@ class NodeServer:
         if kind == "crash":
             self.crash()
             return {"type": "ok", "op": "crash"}
-        if kind == "recover":
-            self.recover()
-            return {"type": "ok", "op": "recover"}
         if kind == "shutdown":
             return {"type": "ok", "op": "shutdown"}
         raise ClusterError(f"unknown admin frame {kind!r}")
@@ -592,9 +747,23 @@ class NodeServer:
         return version
 
     def output_object(self, version: ObjectVersion) -> None:
-        """Write the object to the local database (charged I/O)."""
+        """Write the object to the local database (charged I/O).
+
+        The WAL append rides on this already-charged ``c_io`` write —
+        uncharged itself, which is what keeps fault-free parity exact
+        with durability enabled."""
         self.database.output_object(version)
         self.metrics.io_writes += 1
+        if self.durability is not None:
+            self.durability.log_object(version)
+
+    def invalidate_object(self) -> None:
+        """Invalidate the local copy, journaled.  Protocol adapters call
+        this instead of touching the database directly so a re-crash
+        replays the invalidation instead of resurrecting a stale copy."""
+        self.database.invalidate()
+        if self.durability is not None:
+            self.durability.log_invalidate()
 
     def open_pending(self, rid: int, kind: str, units: int) -> PendingRequest:
         if rid in self._pending:
@@ -676,26 +845,181 @@ class NodeServer:
     # -- failures ----------------------------------------------------------
 
     def crash(self) -> None:
-        """Fail-stop: volatile state lost, stable copy suspect."""
+        """Fail-stop: volatile state lost, stable copy suspect.
+
+        The WAL is deliberately *not* written to here: it must keep the
+        pre-crash state, which is exactly what the fresh-rejoin recovery
+        tier restores (a crash loses volatile memory, not the disk)."""
         if self.crashed:
             raise ClusterError(f"node {self.node_id} is already down")
         self.crashed = True
-        self.join_list.clear()
-        self.steward = False
-        self.database.crash()
+        mute = (
+            self.durability.muted()
+            if self.durability is not None
+            else nullcontext()
+        )
+        with mute:
+            self.join_list.clear()
+            self.steward = False
+            self.database.crash()
         self._relays.clear()
         self._inval_targets.clear()
         for rid in list(self._pending):
             self.fail_pending(rid, f"node {self.node_id} crashed")
+        for future in self._probes.values():
+            if not future.done():
+                future.set_result(None)
+        self._probes.clear()
 
     def recover(self) -> None:
-        """Rejoin; the copy stays invalid until re-read from the scheme
-        (it may have missed writes), per the simulator's semantics."""
+        """Volatile rejoin; the copy stays invalid until re-read from
+        the scheme (it may have missed writes), per the simulator's
+        semantics.  Durable nodes recover through :meth:`recover_async`
+        (the ``recover`` admin frame), which replays the log first."""
         if not self.crashed:
             raise ClusterError(f"node {self.node_id} is not down")
         self.crashed = False
+
+    async def recover_async(self) -> Dict[str, Any]:
+        """Tiered recovery; returns the ``recover`` admin reply.
+
+        Tiers (see ``docs/durability.md``):
+
+        * ``volatile`` — no state dir; PR 4 behavior, copy suspect.
+        * ``log-fresh`` — the replayed version is still the latest
+          (vouched by a peer over one control round): rejoin with the
+          full journaled state and **zero data messages**.
+        * ``log-stale`` — a peer holds something newer; stay invalid
+          and let the ``SchemeRepairer`` copy path refresh us.
+        * ``log-empty`` — nothing durable to rejoin with (same fallback).
+        * ``log-unverified`` — no peer could vouch; conservatively
+          treated as stale.
+
+        Replay is charged as local I/O (``io_reads``), the probe as one
+        control round trip (inquiry here, report at the peer) — never
+        as data messages.  Damage (torn/corrupt tail) was already
+        truncated by the WAL, so ``damaged``/``truncated_bytes`` in the
+        reply report what the crash cost."""
+        self.recover()  # the not-down check + volatile rejoin
+        reply: Dict[str, Any] = {
+            "type": "ok",
+            "op": "recover",
+            "node": self.node_id,
+            "tier": "volatile",
+        }
+        if self.durability is None:
+            return reply
+        state = self.durability.recover()
+        self.metrics.io_reads += state.replay_cost
+        reply.update(
+            replayed=state.replayed,
+            truncated_bytes=state.truncated_bytes,
+            damaged=state.damaged,
+            version=version_to_wire(state.version),
+        )
+        if state.version is None or not state.valid:
+            reply["tier"] = "log-empty" if state.version is None else "log-stale"
+            self._settle_stale_recovery(state)
+            return reply
+        peer, peer_number = await self._probe_freshness()
+        reply["probe_peer"] = peer
+        reply["peer_version"] = peer_number
+        if peer is None:
+            reply["tier"] = "log-unverified"
+            self._settle_stale_recovery(state)
+            return reply
+        if peer_number > state.version.number:
+            reply["tier"] = "log-stale"
+            self._settle_stale_recovery(state)
+            return reply
+        # Fresh: reinstall the journaled state as-is.  Muted — the log
+        # already records exactly this state.
+        with self.durability.muted():
+            self.database.seed(state.version)
+            self.join_list.clear()
+            self.join_list.update(state.join_list)
+            self.steward = state.steward
+        self._latest_commit = state.latest_commit
+        self.metrics.fresh_rejoins += 1
+        self.durability.log_note(
+            "recovered", tier="log-fresh", number=state.version.number
+        )
+        reply["tier"] = "log-fresh"
+        return reply
+
+    def _settle_stale_recovery(self, state) -> None:
+        """The log could not prove freshness: stay invalid (``crash()``
+        already wiped the volatile state) and journal that outcome, so
+        a re-crash before the repair round replays reality instead of
+        the stale past."""
+        assert self.durability is not None
+        self._latest_commit = state.latest_commit
+        self.durability.log_invalidate()
+        self.durability.log_join((), False)
+
+    async def _probe_freshness(self) -> Tuple[Optional[int], Optional[int]]:
+        """Ask peers to vouch for the logged version's freshness.
+
+        Walks the protocol's candidate order (the read-failover order),
+        one control round trip per attempt: a ``VersionInquiry`` out, a
+        ``VersionReport`` back — message types the quorum literature's
+        recovery handshake already defines (cf.
+        :mod:`repro.distsim.protocols.missing_writes`: an empty log is
+        revalidated at the price of a version check).  Returns
+        ``(peer, version_number)`` from the first peer that holds a
+        valid copy, or ``(None, None)`` when nobody can vouch."""
+        loop = asyncio.get_running_loop()
+        for peer in self.protocol.probe_candidates():
+            self._probe_rid += 1
+            rid = self._probe_rid
+            future: asyncio.Future = loop.create_future()
+            self._probes[rid] = future
+            try:
+                delivered = await self.transport.send_protocol(
+                    VersionInquiry(self.node_id, peer, request_id=rid)
+                )
+                if not delivered:
+                    continue
+                report = await asyncio.wait_for(
+                    future, timeout=self.config.exec_timeout
+                )
+            except asyncio.TimeoutError:
+                report = None
+            finally:
+                self._probes.pop(rid, None)
+            if report is None:
+                continue  # the peer is crashed or the report was lost
+            number, holds = report
+            if not holds:
+                continue  # a copyless peer cannot vouch either way
+            return peer, number
+        return None, None
+
+    def resolve_probe(self, message: VersionReport) -> bool:
+        """Claim an incoming ``VersionReport`` as one of our probes."""
+        future = self._probes.get(message.request_id)
+        if future is None:
+            return False
+        if not future.done():
+            future.set_result((message.version_number, message.holds_copy))
+        return True
+
+    async def _handle_recover(
+        self,
+        frame: Mapping[str, Any],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        try:
+            reply = await self.recover_async()
+        except ClusterError as error:
+            reply = {"type": "error", "error": str(error)}
+        async with lock:
+            await write_frame(writer, reply)
 
     def reset_metrics(self) -> None:
         """Fresh counters (e.g. after warm-up); shared with transport."""
         self.metrics = NodeMetrics(self.node_id)
         self.transport.metrics = self.metrics
+        if self.durability is not None:
+            self.durability.metrics = self.metrics

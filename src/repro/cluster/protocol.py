@@ -32,7 +32,14 @@ from __future__ import annotations
 import asyncio
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.distsim.messages import DataTransfer, Invalidate, Message, ReadRequest
+from repro.distsim.messages import (
+    DataTransfer,
+    Invalidate,
+    Message,
+    ReadRequest,
+    VersionInquiry,
+    VersionReport,
+)
 from repro.distsim.protocols.da_protocol import (
     da_execution_set,
     da_invalidation_targets,
@@ -77,6 +84,43 @@ class LiveProtocol:
         raise ClusterError(
             f"{self.name} does not support scheme updates"
         )
+
+    def probe_candidates(self) -> List[int]:
+        """Peers a recovering node asks to vouch for its logged version
+        (one control round trip each), in the read-failover order."""
+        return sorted(self.scheme - {self.me})
+
+    async def _handle_common(self, message: Message) -> bool:
+        """Protocol-independent messages: the recovery freshness probe.
+
+        A ``VersionInquiry`` is answered from the uncharged version peek
+        (the paper prices the probe as the control round trip, not as
+        I/O); a ``VersionReport`` resolves one of our own probes.
+        Returns True when the message was consumed here."""
+        if isinstance(message, VersionInquiry):
+            version = self.node.database.peek_version()
+            delivered = await self.node.transport.send_protocol(
+                VersionReport(
+                    self.me,
+                    message.sender,
+                    request_id=message.request_id,
+                    version_number=(
+                        version.number if version is not None else -1
+                    ),
+                    holds_copy=self.node.database.holds_valid_copy,
+                )
+            )
+            if not delivered:
+                # Unblock the prober so it can fail over to the next
+                # candidate (the oracle plane is never faulted).
+                await self.node.transport.send_done(
+                    message.sender, message.request_id, dropped=True
+                )
+            return True
+        if isinstance(message, VersionReport):
+            self.node.resolve_probe(message)
+            return True
+        return False
 
     async def client_read(self, rid: int) -> ObjectVersion:
         raise NotImplementedError
@@ -232,7 +276,7 @@ class LiveStaticAllocation(LiveProtocol):
                 # Roll back the unacknowledged local copy so no replica
                 # serves a version newer than the last acknowledged one
                 # as if it were committed.
-                self.node.database.invalidate()
+                self.node.invalidate_object()
             raise
         if (
             self.resilient
@@ -246,6 +290,8 @@ class LiveStaticAllocation(LiveProtocol):
             )
 
     async def handle_message(self, message: Message) -> None:
+        if await self._handle_common(message):
+            return
         if isinstance(message, ReadRequest):
             # Outsiders do not save the copy under SA.
             await self._serve_read(message, save_copy=False)
@@ -285,6 +331,14 @@ class LiveDynamicAllocation(LiveProtocol):
             # The primary starts as a recorded non-core holder, exactly
             # as the simulated driver seeds the server's join-list.
             node.join_list.add(self.primary)
+
+    def probe_candidates(self) -> List[int]:
+        # Core members first (mirrors the resilient read failover), then
+        # the primary — it holds a copy whenever no core member does.
+        candidates = sorted(self.core - {self.me})
+        if self.primary != self.me:
+            candidates.append(self.primary)
+        return candidates
 
     async def client_read(self, rid: int) -> ObjectVersion:
         if self.node.database.holds_valid_copy:
@@ -356,12 +410,12 @@ class LiveDynamicAllocation(LiveProtocol):
             if self.resilient:
                 # The update was not acknowledged; drop the local copy
                 # so this node cannot serve it as if committed.
-                self.node.database.invalidate()
+                self.node.invalidate_object()
             raise
         if self.resilient and self.me not in self.core:
             core_stores = {target for target in stores if target in self.core}
             if core_stores and core_stores <= pending.crash_settled:
-                self.node.database.invalidate()
+                self.node.invalidate_object()
                 raise ClusterDegradedError(
                     f"write {rid}: every member of F crashed during the "
                     "store; reads routed through F would miss the update"
@@ -375,6 +429,8 @@ class LiveDynamicAllocation(LiveProtocol):
             self.node.join_list.update(execution_set - self.core)
 
     async def handle_message(self, message: Message) -> None:
+        if await self._handle_common(message):
+            return
         if isinstance(message, ReadRequest):
             if message.sender not in self.core:
                 self.node.join_list.add(message.sender)
@@ -383,7 +439,7 @@ class LiveDynamicAllocation(LiveProtocol):
         elif isinstance(message, DataTransfer):
             await self._handle_data_transfer(message)
         elif isinstance(message, Invalidate):
-            self.node.database.invalidate()
+            self.node.invalidate_object()
             await self.node.transport.send_done(
                 message.sender, message.request_id
             )

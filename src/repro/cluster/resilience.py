@@ -287,6 +287,14 @@ class SchemeRepairer:
                 continue
             targets.append(n)
             have += 1
+        # Stale-but-valid holders are refreshed too (one charged data
+        # message each): a holder whose invalidation died with a crashed
+        # serving member would otherwise keep serving an old version.
+        targets += [
+            n
+            for n, number in sorted(holders.items())
+            if number < latest and n != donor and n not in targets
+        ]
 
         repaired: List[Tuple[int, int, int]] = []
         failed_targets: List[int] = []
@@ -303,8 +311,11 @@ class SchemeRepairer:
         )
 
         adopted: Tuple[int, ...] = ()
+        adoption_ok = True
         if protocol == "DA":
-            adopted = await self._adopt_orphans(statuses, usable, holders_after)
+            adopted, adoption_ok = await self._adopt_orphans(
+                statuses, usable, holders_after
+            )
         else:
             grown = scheme | {target for _, target, _ in repaired}
             # Re-broadcast even when unchanged: a freshly recovered node
@@ -320,7 +331,11 @@ class SchemeRepairer:
             adopted=adopted,
             scheme=tuple(sorted(scheme)),
             holders=holders_after,
-            degraded=len(holders_after) < self.t or bool(failed_targets),
+            degraded=(
+                len(holders_after) < self.t
+                or bool(failed_targets)
+                or not adoption_ok
+            ),
         )
 
     async def _adopt_orphans(
@@ -328,7 +343,7 @@ class SchemeRepairer:
         statuses: Mapping[int, Mapping[str, Any]],
         usable: Set[int],
         holders_after: Sequence[int],
-    ) -> Tuple[int, ...]:
+    ) -> Tuple[Tuple[int, ...], bool]:
         """Register non-core holders in a live core member's join-list.
 
         A crashed serving member takes its join-list with it; the
@@ -337,11 +352,20 @@ class SchemeRepairer:
         valid copy) and adopt the orphans into the lowest live core
         member, flagged as a *steward* so it keeps recording non-core
         holders after each walk even if it is not the default server.
+
+        The prospective steward may itself crash between the status
+        snapshot and the adopt call; each candidate is tried in turn,
+        and a round where *every* candidate failed reports
+        ``(orphans, False)`` so the caller marks the round degraded
+        instead of raising — the next repair pass converges without
+        re-copying data (the orphans keep their valid copies).
+
+        Returns ``(adopted, ok)``.
         """
         core, _ = self._da_structure()
         live_core = sorted(n for n in core if n in usable)
         if not live_core:
-            return ()
+            return (), True
         recorded: Set[int] = set()
         for member in live_core:
             recorded.update(
@@ -351,6 +375,30 @@ class SchemeRepairer:
             n for n in holders_after if n not in core and n not in recorded
         )
         if not orphans:
-            return ()
-        await self.cluster.adopt(live_core[0], orphans, steward=True)
-        return tuple(orphans)
+            return (), True
+        for steward in live_core:
+            try:
+                await self.cluster.adopt(steward, orphans, steward=True)
+            except ClusterError:
+                continue  # crashed mid-repair; try the next core member
+            return tuple(orphans), True
+        return tuple(orphans), False
+
+    # -- tiered recovery ---------------------------------------------------
+
+    async def recover_node(
+        self, node_id: int, reachable: Optional[Sequence[int]] = None
+    ) -> Tuple[Dict[str, Any], Optional[RepairReport]]:
+        """Recover one node through the tiered durable path.
+
+        Tier 1 (``log-fresh``): the node's replayed WAL held the latest
+        version — it rejoined with zero data messages and no repair
+        round is needed.  Every other tier (stale/empty/unverified log,
+        or a fully volatile node) falls back to a
+        :meth:`repair_round`, the network copy path.  Returns the
+        recover reply and the repair report (None on the fresh tier).
+        """
+        reply = await self.cluster.recover(node_id)
+        if reply.get("tier") == "log-fresh":
+            return reply, None
+        return reply, await self.repair_round(reachable=reachable)

@@ -1,0 +1,96 @@
+"""Point-in-time snapshots that bound WAL replay length.
+
+A snapshot is the folded durable state of a node at one log sequence
+number, written as a single CRC-framed JSON document::
+
+    [4-byte big-endian length][4-byte big-endian CRC32 of body][body]
+
+— the same frame the WAL uses for records, so one validation discipline
+covers both files.  Snapshots are written atomically (temp file +
+``os.replace``), so a crash mid-snapshot leaves the previous snapshot
+intact; a snapshot that fails its CRC or does not parse is treated as
+absent and recovery falls back to pure log replay.
+
+After a successful snapshot the WAL is reset: replay then costs one
+snapshot load plus however many records accrued since, instead of the
+whole history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import StorageError
+
+_HEADER = struct.Struct(">II")
+
+#: Same plausibility bound as WAL records (see :mod:`repro.storage.wal`).
+MAX_SNAPSHOT_BYTES = 4 * 1024 * 1024
+
+
+class SnapshotStore:
+    """Atomic save/load of one JSON state document with CRC validation."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def save(self, state: Mapping[str, Any], sync: bool = False) -> None:
+        """Atomically replace the snapshot with ``state``."""
+        body = json.dumps(
+            dict(state), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if len(body) > MAX_SNAPSHOT_BYTES:
+            raise StorageError(
+                f"snapshot of {len(body)} bytes exceeds the "
+                f"{MAX_SNAPSHOT_BYTES}-byte limit"
+            )
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(_HEADER.pack(len(body), zlib.crc32(body)))
+            handle.write(body)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The saved state, or None if missing, torn, or corrupt.
+
+        A bad snapshot never raises: recovery degrades to replaying
+        the log from its start, which is always safe (just slower).
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except (FileNotFoundError, OSError):
+            return None
+        if len(data) < _HEADER.size:
+            return None
+        length, crc = _HEADER.unpack_from(data, 0)
+        if length == 0 or length > MAX_SNAPSHOT_BYTES:
+            return None
+        body = data[_HEADER.size : _HEADER.size + length]
+        if len(body) != length or zlib.crc32(body) != crc:
+            return None
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(decoded, dict):
+            return None
+        return decoded
+
+    def delete(self) -> None:
+        """Remove the snapshot (and any orphaned temp file)."""
+        for path in (self.path, self.path + ".tmp"):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass

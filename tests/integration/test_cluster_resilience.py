@@ -198,6 +198,88 @@ class TestSchemeRepair:
         run(scenario())
 
 
+class TestStewardCrashMidRepair:
+    def test_second_pass_converges_without_recopying(self):
+        """Regression: the prospective steward crashing between the
+        status snapshot and the adopt call used to abort the round with
+        an unhandled ClusterError.  Now the round completes degraded,
+        and the *next* pass converges without double-charging data
+        messages for holders the first pass already refreshed."""
+
+        async def scenario():
+            # A two-member core ({1, 2}) so one core crash leaves a
+            # live steward candidate for the flaky adopt to kill.
+            spec = ClusterSpec(
+                processors=(1, 2, 3, 4),
+                scheme=frozenset({1, 2, 3}),
+                protocol="DA",
+                primary=3,
+                resilience=POLICY,
+            )
+            cluster = await start_local_cluster(spec)
+            client = ClusterClient(cluster.addresses, timeout=10.0, retry=POLICY)
+            repairer = SchemeRepairer(cluster, t=3)
+            try:
+                # Outsider 4 joins node 1's list by reading, then the
+                # crash of 1 orphans it: the write at 2 cannot reach it,
+                # leaving 4 stale-but-valid at the seed version.
+                assert (await client.execute(4, "read", rid=1)).ok
+                await cluster.crash(1)
+                write = await client.execute(
+                    2, "write", rid=2, version=ObjectVersion(1, 2)
+                )
+                assert write.ok
+
+                # The only live core member (the steward candidate)
+                # crashes between the status snapshot and the adopt.
+                adopt_calls = []
+                original_adopt = cluster.adopt
+
+                async def flaky_adopt(node_id, nodes, steward=False):
+                    adopt_calls.append(node_id)
+                    if len(adopt_calls) == 1:
+                        await cluster.crash(node_id)
+                    return await original_adopt(node_id, nodes, steward=steward)
+
+                cluster.adopt = flaky_adopt
+
+                first = await repairer.repair_round()
+                # The round survived the mid-repair crash: degraded,
+                # not raised — and the stale holder 4 was already
+                # refreshed before the steward died.
+                assert first.degraded
+                assert adopt_calls == [2]
+                assert first.repaired == ((2, 4, 1),)
+
+                await cluster.recover(1)
+                await cluster.recover(2)
+                second = await repairer.repair_round()
+                assert not second.degraded
+                # Only the recovered core members take copies; node 4
+                # keeps the copy from round one — no double charge.
+                assert {t for _, t, _ in second.repaired} == {1, 2}
+                assert set(second.holders) == {1, 2, 3, 4}
+                assert 4 in second.adopted
+
+                totals = resilience_totals((await cluster.metrics()).values())
+                assert totals["repairs_sent"] == totals["repairs_received"] == 3
+
+                # Adoption is live again end to end: a write at the new
+                # steward invalidates 4, whose next read is fresh.
+                write = await client.execute(
+                    1, "write", rid=3, version=ObjectVersion(2, 1)
+                )
+                assert write.ok
+                read = await client.execute(4, "read", rid=4)
+                assert read.ok and read.version.number == 2
+            finally:
+                cluster.adopt = original_adopt
+                await client.close()
+                await cluster.stop()
+
+        run(scenario())
+
+
 class TestDegradedWrites:
     def test_partitioned_writer_is_rejected_then_heals(self):
         async def scenario():

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.chaos.plan import ChaosPlan, FaultEvent, generate_plan
+from repro.chaos.plan import SCHEMA_VERSION, ChaosPlan, FaultEvent, generate_plan
 from repro.exceptions import ClusterError
 
 PROCESSORS = (1, 2, 3, 4, 5, 6, 7, 8)
@@ -121,6 +123,138 @@ class TestConstraints:
                 assert 1 <= budget <= attempts - 1
 
 
+class TestEdgeCases:
+    """Boundary shapes the generator must keep safe (satellite 3)."""
+
+    def test_short_run_skips_partitions_entirely(self):
+        # span = requests // (2*partitions+1) < 6 → no window is carved
+        # rather than a zero/negative-duration one.
+        plan = make_plan(seed=5, requests=20, partitions=3)
+        assert all(
+            event.kind not in ("partition", "heal") for event in plan.events
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("partitions", [1, 2, 4])
+    def test_partition_windows_never_zero_duration(self, seed, partitions):
+        plan = make_plan(seed=seed, partitions=partitions)
+        for start, end in partition_windows(plan):
+            assert start < end <= plan.requests - 2
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_minimum_length_run_is_still_safe(self, seed):
+        plan = make_plan(seed=seed, requests=20)
+        crash_intervals(plan)  # every crash still pairs with a recovery
+        for start, end in partition_windows(plan):
+            assert start < end
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("requests", [20, 21, 25])
+    def test_recoveries_clamp_inside_the_trace(self, seed, requests):
+        # Crash intervals drawn near the end must clamp to requests-2:
+        # the recover event still fires before the workload runs out,
+        # so no node is left down at the final sweep.
+        plan = make_plan(seed=seed, requests=requests)
+        for start, end, _ in crash_intervals(plan):
+            assert 2 <= start <= end <= requests - 2
+        for event in plan.events:
+            assert 0 <= event.at <= requests - 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_adjacent_events_order_damage_before_recovery(self, seed):
+        plan = make_plan(seed=seed, torn_writes=3)
+        for event in plan.events:
+            if event.kind not in ("torn", "corrupt"):
+                continue
+            same_index = plan.events_at(event.at)
+            recover = [
+                other
+                for other in same_index
+                if other.kind == "recover" and other.node == event.node
+            ]
+            assert recover, "damage must pair with the victim's recovery"
+            assert same_index.index(event) < same_index.index(recover[0])
+
+
+class TestDamageEvents:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_plain_plan_is_a_strict_prefix(self, seed):
+        """torn_writes draws come after every other draw: disabling
+        them must not move a single existing event."""
+        plain = make_plan(seed=seed)
+        damaged = make_plan(seed=seed, torn_writes=2)
+        undamaged = [
+            event
+            for event in damaged.events
+            if event.kind not in ("torn", "corrupt")
+        ]
+        assert list(plain.events) == undamaged
+
+    def test_zero_torn_writes_means_no_damage(self):
+        plan = make_plan(seed=2, torn_writes=0)
+        assert all(
+            event.kind not in ("torn", "corrupt") for event in plan.events
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_damage_lands_on_crashed_nodes(self, seed):
+        plan = make_plan(seed=seed, torn_writes=4)
+        intervals = crash_intervals(plan)
+        damage = [
+            event
+            for event in plan.events
+            if event.kind in ("torn", "corrupt")
+        ]
+        assert damage, "enough crash intervals exist to damage"
+        for event in damage:
+            assert any(
+                node == event.node and end == event.at
+                for _, end, node in intervals
+            ), "damage must hit a crashed node at its recovery index"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_damage_amounts_are_bounded(self, seed):
+        for event in make_plan(seed=seed, torn_writes=4).events:
+            if event.kind == "torn":
+                assert 1 <= event.amount <= 32
+            elif event.kind == "corrupt":
+                assert 1 <= event.amount <= 8
+
+    def test_torn_writes_cap_at_crash_count(self):
+        plan = make_plan(seed=1, crashes=2, torn_writes=50)
+        damage = [
+            event
+            for event in plan.events
+            if event.kind in ("torn", "corrupt")
+        ]
+        assert len(damage) <= len(crash_intervals(plan))
+
+
+class TestSchema:
+    def test_wire_round_trip_through_json(self):
+        plan = make_plan(seed=4, torn_writes=2)
+        wire = json.loads(json.dumps(plan.to_wire()))
+        assert ChaosPlan.from_wire(wire) == plan
+        assert wire["schema_version"] == SCHEMA_VERSION
+
+    def test_versionless_plan_deserializes_as_v1(self):
+        wire = make_plan(seed=4).to_wire()
+        del wire["schema_version"]
+        rebuilt = ChaosPlan.from_wire(wire)
+        assert rebuilt.schema_version == 1
+        assert rebuilt.events == make_plan(seed=4).events
+
+    def test_future_schema_rejected(self):
+        wire = make_plan(seed=4).to_wire()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ClusterError):
+            ChaosPlan.from_wire(wire)
+
+    def test_event_amount_survives_the_wire(self):
+        event = FaultEvent(at=9, kind="torn", node=3, amount=17)
+        assert FaultEvent.from_wire(event.to_wire()) == event
+
+
 class TestValidation:
     def test_too_few_requests_rejected(self):
         with pytest.raises(ClusterError):
@@ -150,3 +284,10 @@ class TestRendering:
         assert "heal" in FaultEvent(at=9, kind="heal").describe()
         drops = FaultEvent(at=3, kind="drops", budgets=((1, 2, 3),))
         assert "1->2x3" in drops.describe()
+        torn = FaultEvent(at=7, kind="torn", node=4, amount=12)
+        assert "12 byte(s)" in torn.describe()
+        corrupt = FaultEvent(at=8, kind="corrupt", node=4, amount=2)
+        assert "-2" in corrupt.describe()
+
+    def test_describe_carries_the_schema_version(self):
+        assert f"schema v{SCHEMA_VERSION}" in make_plan(seed=1).describe()

@@ -72,6 +72,42 @@ class TestStableStorage:
         storage.write("k", 1)
         assert storage.survive_crash().peek("k") == 1
 
+    def test_survive_crash_carries_counters_over(self):
+        # The paper's c_io charges accumulate across crashes: a crash
+        # loses volatile state, never the I/O history of the disk.
+        storage = StableStorage()
+        storage.write("k", 1)
+        storage.read("k")
+        storage.read("k")
+        survivor = storage.survive_crash()
+        assert survivor.read_ops == 2
+        assert survivor.write_ops == 1
+        assert survivor.io_ops == 3
+        survivor.write("k", 2)
+        assert storage.io_ops == 4  # same disk, same ledger
+
+    def test_survive_crash_is_identity(self):
+        storage = StableStorage()
+        assert storage.survive_crash() is storage
+
+    def test_volatile_stable_split_matches_database_crash(self):
+        # LocalDatabase.crash() must be exactly "stable storage
+        # survives, validity is volatile": the version block stays on
+        # the surviving StableStorage, only the valid flag drops.
+        db = LocalDatabase(owner=1)
+        version = ObjectVersion(7, writer=1)
+        db.output_object(version)
+        reads_before = db.storage.read_ops
+        writes_before = db.storage.write_ops
+        db.crash()
+        assert db.storage is db.storage.survive_crash()
+        assert db.storage.read_ops == reads_before
+        assert db.storage.write_ops == writes_before
+        assert not db.holds_valid_copy  # the volatile half is gone
+        assert db.peek_version() == version  # the stable half is not
+        with pytest.raises(StorageError):
+            db.input_object()  # a charged read refuses the invalid copy
+
 
 class TestLocalDatabase:
     def test_fresh_database_has_no_copy(self):
